@@ -1,0 +1,152 @@
+package sensedroid
+
+// One benchmark per evaluation artifact (figures F1–F6, claims C1–C6,
+// ablations A1–A3 — see DESIGN.md §3). Each bench regenerates its
+// figure/claim through the same code path as `cmd/experiments`, at a
+// configuration scaled so a single iteration is bench-friendly; the
+// full-scale series are produced by `go run ./cmd/experiments all`.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchTable(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig1HierarchyScalability(b *testing.B) {
+	cfg := experiments.Fig1Config{NodeCounts: []int{256}, LCs: 4, NCsPerLC: 4, Seed: 1}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig1(cfg) })
+}
+
+func BenchmarkFig2NanoCloudRoundTrip(b *testing.B) {
+	cfg := experiments.Fig2Config{Nodes: 16, M: 32, Seed: 2}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig2(cfg) })
+}
+
+func BenchmarkFig3VirtualSensorFusion(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig3(3) })
+}
+
+func BenchmarkFig4ReconstructionVsM(b *testing.B) {
+	cfg := experiments.Fig4Config{N: 256, Ms: []int{16, 30, 64}, K: 8, Trials: 2, Seed: 4}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig4(cfg) })
+}
+
+func BenchmarkFig5AdaptiveZones(b *testing.B) {
+	cfg := experiments.Fig5Config{FieldW: 32, FieldH: 32, ZoneRows: 4, ZoneCols: 4,
+		NodesPerNC: 3, TotalM: 160, Trials: 1, Seed: 5}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig5(cfg) })
+}
+
+func BenchmarkFig6CHSAlgorithm(b *testing.B) {
+	cfg := experiments.Fig6Config{N: 128, M: 40, K: 6, Trials: 2, Seed: 6}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.Fig6(cfg) })
+}
+
+func BenchmarkC1TransmissionScaling(b *testing.B) {
+	cfg := experiments.C1Config{NodeCounts: []int{128, 256}, K: 8, Seed: 11}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C1(cfg) })
+}
+
+func BenchmarkC2MeasurementBound(b *testing.B) {
+	cfg := experiments.C2Config{Ns: []int{128, 256}, Ks: []int{5}, Trials: 3, Seed: 12}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C2(cfg) })
+}
+
+func BenchmarkC3EnergySavings(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C3(experiments.DefaultC3()) })
+}
+
+func BenchmarkC4IsIndoor(b *testing.B) {
+	cfg := experiments.C4Config{Windows: 4, WindowLen: 64, M: 16, Seed: 14}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C4(cfg) })
+}
+
+func BenchmarkC5IsDriving(b *testing.B) {
+	cfg := experiments.C5Config{Ms: []int{30}, Trials: 3, Seed: 15}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C5(cfg) })
+}
+
+func BenchmarkC6Incentives(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C6(experiments.DefaultC6()) })
+}
+
+func BenchmarkA1BasisChoice(b *testing.B) {
+	cfg := experiments.A1Config{W: 16, H: 16, M: 48, K: 10, PriorT: 30, Trials: 2, Seed: 21}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A1(cfg) })
+}
+
+func BenchmarkA2OptimalK(b *testing.B) {
+	cfg := experiments.A2Config{N: 128, M: 36, Ks: []int{2, 4, 16}, Noise: 0.05, Trials: 5, Seed: 22}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A2(cfg) })
+}
+
+func BenchmarkA3Criticality(b *testing.B) {
+	cfg := experiments.A3Config{TotalM: 120, Crit: 4, Trials: 1, Seed: 23}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A3(cfg) })
+}
+
+// BenchmarkEndToEndCampaign times one full hierarchical sensing round
+// through the public API — the middleware's steady-state unit of work.
+func BenchmarkEndToEndCampaign(b *testing.B) {
+	sd, err := New(Options{
+		FieldW: 32, FieldH: 32, ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 4, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sd.Close()
+	truth := GenPlumes(32, 32, 12, []Plume{{Row: 10, Col: 20, Sigma: 3, Amplitude: 30}})
+	if err := sd.SetTruth(truth); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sd.RunCampaign(CampaignConfig{TotalM: 120}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA4DecoderComparison(b *testing.B) {
+	cfg := experiments.A4Config{N: 64, M: 28, K: 4, Noise: 0.02, Trials: 2, Seed: 24}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A4(cfg) })
+}
+
+func BenchmarkA5SpatioTemporal(b *testing.B) {
+	cfg := experiments.A5Config{W: 10, H: 10, Steps: 6, Ms: []int{16}, Drift: 0.15, Seed: 25}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A5(cfg) })
+}
+
+func BenchmarkA6AdaptiveSampling(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.A6(experiments.DefaultA6()) })
+}
+
+func BenchmarkC7RadioSelection(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C7(experiments.DefaultC7()) })
+}
+
+func BenchmarkC8Coverage(b *testing.B) {
+	cfg := experiments.C8Config{GridW: 8, GridH: 8, Nodes: 4, DurationS: 600, StepS: 5, Seed: 28}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C8(cfg) })
+}
+
+func BenchmarkC9Opportunistic(b *testing.B) {
+	cfg := experiments.C9Config{AreaM: 200, Radius: 20, Rounds: 5, Crowds: []int{60}, Seed: 29}
+	benchTable(b, func() (*experiments.Table, error) { return experiments.C9(cfg) })
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments list          # show available experiment IDs
+//	experiments all           # run everything (F1–F6, C1–C6, A1–A3)
+//	experiments fig4 c3 a2    # run specific experiments
+//
+// Each experiment prints the table/series corresponding to one figure or
+// prose claim of the paper; EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [list|all|<id>...]\n\nexperiments:\n")
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-6s %s\n", r.ID, r.Desc)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var runners []experiments.Runner
+	switch args[0] {
+	case "list":
+		for _, r := range experiments.All() {
+			fmt.Printf("%-6s %s\n", r.ID, r.Desc)
+		}
+		return
+	case "all":
+		runners = experiments.All()
+	default:
+		for _, id := range args {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try 'list')\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		table, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,116 @@
+// Wellness: the paper's personal-health use case — "a family or a group of
+// related people … jointly infer their moods and exercise routines … to
+// find combined stress quotient … a family health indicator".
+//
+// Four family members' handsets run on-device context sensing (activity,
+// stress, indoor/outdoor). Each member's accelerometer window is sampled
+// compressively (30 of 256 instants) to save energy, then the per-member
+// contexts are fused into the family health indicator. Per-member energy
+// is compared against always-on sampling.
+//
+//	go run ./examples/wellness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/basis"
+	"repro/internal/contextproc"
+	"repro/internal/energy"
+	"repro/internal/mobility"
+	"repro/internal/node"
+	"repro/internal/sensor"
+)
+
+// homeEnv is a trivial environment: the family home.
+type homeEnv struct{}
+
+func (homeEnv) FieldValue(kind sensor.Kind, gridIdx int) float64 { return 21.0 }
+func (homeEnv) GridDims() (int, int)                             { return 4, 4 }
+func (homeEnv) AreaDims() (float64, float64)                     { return 40, 40 }
+
+type member struct {
+	name   string
+	motion sensor.MotionScenario
+	indoor sensor.Schedule
+}
+
+func main() {
+	family := []member{
+		{"alice", sensor.MotionDriving, sensor.AlternatingSchedule(0)},        // commuting
+		{"bob", sensor.MotionWalking, func(t float64) bool { return false }},  // on a walk
+		{"carol", sensor.MotionIdle, sensor.AlternatingSchedule(0)},           // at a desk
+		{"dave", sensor.MotionWalking, func(t float64) bool { return false }}, // walking too
+	}
+	pipe, err := contextproc.NewPipeline(basis.DFT(256), 30, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var contexts []contextproc.MemberContext
+	fmt.Println("member  activity  indoor  stress  cadence  accel-energy(mJ)  vs-full-sampling")
+	for i, m := range family {
+		nd, err := node.New(node.Config{
+			ID: m.name, Seed: int64(1000 + i*7), Motion: m.motion, Indoor: m.indoor,
+			Profile: sensor.ProfileMidrange,
+		}, homeEnv{}, mobility.Static{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Compressive on-device context (30/256 duty cycle).
+		rep, err := nd.SenseContext(256, 64, pipe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compEnergy := nd.Meter.Breakdown()["sense/accelerometer"]
+
+		// Pedometer virtual sensor on a fresh full window (exercise log).
+		accel := nd.Probes.ByKind(sensor.Accelerometer)[0]
+		stepWin, err := accel.CollectAxis(256, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cadence, err := contextproc.Cadence(stepWin, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Reference: the same context with always-on sampling.
+		full, err := node.New(node.Config{
+			ID: m.name + "-full", Seed: int64(1000 + i*7), Motion: m.motion, Indoor: m.indoor,
+			Profile: sensor.ProfileMidrange,
+		}, homeEnv{}, mobility.Static{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := full.SenseContext(256, 64, nil); err != nil {
+			log.Fatal(err)
+		}
+		fullEnergy := full.Meter.Breakdown()["sense/accelerometer"]
+
+		fmt.Printf("%-7s %-9s %-7v %.2f    %.1f/s    %12.3f  %.0f%% saved\n",
+			rep.NodeID, rep.Activity, rep.Indoor, rep.Stress, cadence, compEnergy,
+			energy.SavingsPercent(fullEnergy, compEnergy))
+		contexts = append(contexts, contextproc.MemberContext{
+			Member: rep.NodeID, Activity: rep.Activity, Stress: rep.Stress, Indoor: rep.Indoor,
+		})
+	}
+
+	group, err := contextproc.FuseGroup(contexts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfamily health indicator (%d members):\n", group.Size)
+	fmt.Printf("  majority activity     %s\n", group.MajorityAct)
+	fmt.Printf("  combined stress       %.2f\n", group.StressQuotient)
+	fmt.Printf("  indoor fraction       %.0f%%\n", 100*group.IndoorFraction)
+	switch {
+	case group.StressQuotient > 0.6:
+		fmt.Println("  assessment            elevated — suggest a shared break")
+	case group.MajorityAct == contextproc.ActivityWalking:
+		fmt.Println("  assessment            active and healthy")
+	default:
+		fmt.Println("  assessment            normal")
+	}
+}

@@ -1,0 +1,306 @@
+// Package broker implements the NanoCloud broker of the paper's Fig. 2:
+// the head node that registers mobile nodes, performs stochastic (random)
+// spatial sampling by commanding and telemetering a selected subset of
+// them, falls back to infrastructure sensors when mobile coverage is
+// short, and reconstructs its region's spatial field with the
+// compressive-sensing core.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/bus"
+	"repro/internal/cs"
+	"repro/internal/field"
+	"repro/internal/mat"
+	"repro/internal/node"
+	"repro/internal/sensor"
+)
+
+// SelectionPolicy chooses which nodes a gather round solicits.
+type SelectionPolicy string
+
+// Selection policies.
+const (
+	// SelectRandom is the paper's stochastic spatial sampling: a uniform
+	// random subset of registered nodes.
+	SelectRandom SelectionPolicy = "random"
+	// SelectBattery solicits the fullest batteries first (the §5
+	// "sensor scheduling" energy-balancing direction): the broker queries
+	// node status and walks nodes in decreasing battery order.
+	SelectBattery SelectionPolicy = "battery"
+)
+
+// Config configures a broker.
+type Config struct {
+	ID         string
+	Seed       int64
+	InfraSigma float64         // noise of infrastructure sensors (default 0.05)
+	Timeout    time.Duration   // per-node request timeout (default 2 s)
+	Selection  SelectionPolicy // node selection policy (default SelectRandom)
+}
+
+// Broker orchestrates one NanoCloud.
+type Broker struct {
+	ID  string
+	Bus *bus.Bus
+
+	env       node.Environment
+	rng       *rand.Rand
+	timeout   time.Duration
+	infraSD   float64
+	selection SelectionPolicy
+
+	mu    sync.Mutex
+	nodes []string
+}
+
+// New creates a broker for a NanoCloud whose nodes observe env.
+func New(cfg Config, b *bus.Bus, env node.Environment) (*Broker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("broker: empty ID")
+	}
+	if b == nil || env == nil {
+		return nil, errors.New("broker: nil bus or environment")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.InfraSigma <= 0 {
+		cfg.InfraSigma = 0.05
+	}
+	if cfg.Selection == "" {
+		cfg.Selection = SelectRandom
+	}
+	return &Broker{
+		ID: cfg.ID, Bus: b, env: env,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		timeout: cfg.Timeout, infraSD: cfg.InfraSigma,
+		selection: cfg.Selection,
+	}, nil
+}
+
+// Register adds a node to the broker's roster. The node must have
+// AttachBus'd to the same bus under this broker's ID.
+func (br *Broker) Register(nodeID string) error {
+	if nodeID == "" {
+		return errors.New("broker: empty node ID")
+	}
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	for _, id := range br.nodes {
+		if id == nodeID {
+			return fmt.Errorf("broker: node %q already registered", nodeID)
+		}
+	}
+	br.nodes = append(br.nodes, nodeID)
+	return nil
+}
+
+// Nodes returns the registered node IDs, sorted.
+func (br *Broker) Nodes() []string {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	out := append([]string(nil), br.nodes...)
+	sort.Strings(out)
+	return out
+}
+
+// Positions queries every registered node for its current grid cell.
+// Unreachable nodes are skipped.
+func (br *Broker) Positions() map[string]int {
+	out := make(map[string]int)
+	for _, id := range br.Nodes() {
+		var rep node.PositionReply
+		if err := bus.Request(br.Bus, node.PositionTopic(br.ID, id), struct{}{}, &rep, br.timeout); err != nil {
+			continue
+		}
+		out[id] = rep.GridIdx
+	}
+	return out
+}
+
+// Gather is one telemetry round: the broker randomly selects up to m
+// registered nodes (stochastic spatial sampling), commands each to measure
+// kind, and collects the readings. If fewer than m distinct grid cells
+// respond — nodes may be unreachable, privacy-denied, or co-located — the
+// broker tops up with infrastructure-sensor measurements at random
+// uncovered cells, per the paper's fallback.
+type GatherResult struct {
+	Locs      []int     // grid indices (one per measurement)
+	Values    []float64 // measured values
+	Sigmas    []float64 // per-measurement noise std-devs (GLS weights)
+	NodeIDs   []string  // contributing node per mobile measurement ("" for infra)
+	NodesUsed int
+	InfraUsed int
+	Denied    int
+}
+
+// Gather runs one measurement round for the given sensor kind.
+func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
+	if m <= 0 {
+		return nil, errors.New("broker: measurement count must be positive")
+	}
+	gw, gh := br.env.GridDims()
+	n := gw * gh
+	if m > n {
+		m = n
+	}
+	ids := br.orderNodes()
+	res := &GatherResult{}
+	seen := make(map[int]bool)
+	for _, id := range ids {
+		if len(res.Locs) >= m {
+			break
+		}
+		var reading node.FieldReading
+		err := bus.Request(br.Bus, node.MeasureTopic(br.ID, id),
+			node.MeasureRequest{Kind: string(kind)}, &reading, br.timeout)
+		if err != nil {
+			continue
+		}
+		if reading.Denied {
+			res.Denied++
+			continue
+		}
+		if seen[reading.GridIdx] {
+			continue // duplicate cell adds no spatial information
+		}
+		seen[reading.GridIdx] = true
+		res.Locs = append(res.Locs, reading.GridIdx)
+		res.Values = append(res.Values, reading.Value)
+		res.Sigmas = append(res.Sigmas, reading.Sigma)
+		res.NodeIDs = append(res.NodeIDs, reading.NodeID)
+		res.NodesUsed++
+	}
+	// Infrastructure fallback for the shortfall.
+	if len(res.Locs) < m {
+		free := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				free = append(free, i)
+			}
+		}
+		br.mu.Lock()
+		br.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		need := m - len(res.Locs)
+		if need > len(free) {
+			need = len(free)
+		}
+		for _, cell := range free[:need] {
+			v := br.env.FieldValue(kind, cell) + br.rng.NormFloat64()*br.infraSD
+			res.Locs = append(res.Locs, cell)
+			res.Values = append(res.Values, v)
+			res.Sigmas = append(res.Sigmas, br.infraSD)
+			res.NodeIDs = append(res.NodeIDs, "")
+			res.InfraUsed++
+		}
+		br.mu.Unlock()
+	}
+	if len(res.Locs) == 0 {
+		return nil, errors.New("broker: no measurements gathered")
+	}
+	return res, nil
+}
+
+// orderNodes returns the registered nodes in solicitation order per the
+// selection policy: uniform shuffle (stochastic spatial sampling) or
+// fullest-battery-first (energy-balancing duty rotation).
+func (br *Broker) orderNodes() []string {
+	ids := br.Nodes()
+	switch br.selection {
+	case SelectBattery:
+		type nb struct {
+			id   string
+			frac float64
+		}
+		stats := make([]nb, 0, len(ids))
+		for _, id := range ids {
+			var st node.StatusReply
+			if err := bus.Request(br.Bus, node.StatusTopic(br.ID, id), struct{}{}, &st, br.timeout); err != nil {
+				continue // unreachable nodes sort last by omission
+			}
+			stats = append(stats, nb{id: id, frac: st.BatteryFrac})
+		}
+		sort.SliceStable(stats, func(i, j int) bool { return stats[i].frac > stats[j].frac })
+		out := make([]string, len(stats))
+		for i, s := range stats {
+			out[i] = s.id
+		}
+		return out
+	default:
+		br.mu.Lock()
+		br.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		br.mu.Unlock()
+		return ids
+	}
+}
+
+// ReconstructOptions tunes the broker-side recovery.
+type ReconstructOptions struct {
+	Basis    basis.Kind  // default DCT
+	K        int         // sparsity budget; 0 = len(locs)/3 heuristic
+	UseGLS   bool        // weight by per-sensor noise (heterogeneous phones)
+	LearnPhi *mat.Matrix // optional prior basis overriding Basis
+}
+
+// Reconstruction is a completed regional field estimate.
+type Reconstruction struct {
+	Field  *field.Field
+	Result *cs.Result
+	Gather *GatherResult
+}
+
+// Reconstruct runs a Gather round and recovers the region's field with the
+// Fig. 6 CHS algorithm (OLS or GLS per options).
+func (br *Broker) Reconstruct(kind sensor.Kind, m int, opts ReconstructOptions) (*Reconstruction, error) {
+	g, err := br.Gather(kind, m)
+	if err != nil {
+		return nil, err
+	}
+	return br.ReconstructFrom(g, opts)
+}
+
+// ReconstructFrom recovers the field from an existing gather round.
+func (br *Broker) ReconstructFrom(g *GatherResult, opts ReconstructOptions) (*Reconstruction, error) {
+	gw, gh := br.env.GridDims()
+	phi := opts.LearnPhi
+	if phi == nil {
+		kind := opts.Basis
+		if kind == "" {
+			kind = basis.KindDCT
+		}
+		f := field.New(gw, gh)
+		var err error
+		phi, err = f.Basis2D(kind)
+		if err != nil {
+			return nil, err
+		}
+	}
+	k := opts.K
+	if k <= 0 {
+		k = len(g.Locs) / 3
+		if k < 1 {
+			k = 1
+		}
+	}
+	chsOpts := cs.CHSOptions{MaxSupport: k, Tol: 1e-8, PerIter: 1}
+	if opts.UseGLS {
+		chsOpts.V = cs.NoiseCovariance(g.Sigmas, 1e-4)
+	}
+	res, err := cs.CHS(phi, g.Locs, g.Values, chsOpts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := field.FromVector(gw, gh, res.Xhat)
+	if err != nil {
+		return nil, err
+	}
+	return &Reconstruction{Field: f, Result: res, Gather: g}, nil
+}

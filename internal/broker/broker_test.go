@@ -1,0 +1,310 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/bus"
+	"repro/internal/cs"
+	"repro/internal/field"
+	"repro/internal/mobility"
+	"repro/internal/node"
+	"repro/internal/sensor"
+)
+
+// fieldEnv exposes a whole field as a single-zone node.Environment
+// (avoiding a test-only dependency on the cloud package, which imports
+// this one).
+type fieldEnv struct{ f *field.Field }
+
+func (e fieldEnv) FieldValue(kind sensor.Kind, gridIdx int) float64 { return e.f.Data[gridIdx] }
+func (e fieldEnv) GridDims() (int, int)                             { return e.f.W, e.f.H }
+func (e fieldEnv) AreaDims() (float64, float64) {
+	return float64(e.f.W) * 10, float64(e.f.H) * 10
+}
+
+// testNC builds a broker over a plume field with n attached nodes.
+func testNC(t *testing.T, nNodes int, seed int64) (*Broker, *field.Field, []*node.Node) {
+	t.Helper()
+	truth := field.GenPlumes(8, 8, 10, []field.Plume{{Row: 3, Col: 5, Sigma: 2.2, Amplitude: 30}})
+	env := fieldEnv{f: truth}
+	b := bus.New()
+	br, err := New(Config{ID: "nc0", Seed: seed, Timeout: 2 * time.Second}, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nodes []*node.Node
+	for i := 0; i < nNodes; i++ {
+		mob, err := mobility.NewRandomWaypoint(rand.New(rand.NewSource(rng.Int63())), 80, 80, 1, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := node.New(node.Config{
+			ID: fmt.Sprintf("n%d", i), Seed: rng.Int63(), Profile: sensor.ProfileMidrange,
+		}, env, mob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.AttachBus(b, "nc0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Register(nd.ID); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Detach()
+		}
+		b.Close()
+	})
+	return br, truth, nodes
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, bus.New(), nil); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := New(Config{ID: "x"}, nil, nil); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	br, _, _ := testNC(t, 1, 1)
+	if err := br.Register("n0"); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if err := br.Register(""); err == nil {
+		t.Fatal("want empty-ID error")
+	}
+}
+
+func TestPositionsQueriesAllNodes(t *testing.T) {
+	br, _, _ := testNC(t, 4, 2)
+	pos := br.Positions()
+	if len(pos) != 4 {
+		t.Fatalf("positions for %d nodes, want 4", len(pos))
+	}
+	for id, idx := range pos {
+		if idx < 0 || idx >= 64 {
+			t.Fatalf("node %s at invalid cell %d", id, idx)
+		}
+	}
+}
+
+func TestGatherUsesNodesAndInfraFallback(t *testing.T) {
+	br, _, _ := testNC(t, 5, 3)
+	g, err := br.Gather(sensor.Temperature, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Locs) != 20 {
+		t.Fatalf("gathered %d, want 20", len(g.Locs))
+	}
+	if g.NodesUsed == 0 {
+		t.Fatal("no mobile nodes used")
+	}
+	if g.InfraUsed == 0 {
+		t.Fatal("infrastructure fallback not engaged (5 nodes < 20 cells)")
+	}
+	if g.NodesUsed+g.InfraUsed != 20 {
+		t.Fatalf("nodes %d + infra %d != 20", g.NodesUsed, g.InfraUsed)
+	}
+	// Locations distinct.
+	seen := map[int]bool{}
+	for _, l := range g.Locs {
+		if seen[l] {
+			t.Fatalf("duplicate cell %d", l)
+		}
+		seen[l] = true
+	}
+	if len(g.Values) != 20 || len(g.Sigmas) != 20 {
+		t.Fatal("values/sigmas length mismatch")
+	}
+}
+
+func TestGatherCountsPrivacyDenials(t *testing.T) {
+	br, _, nodes := testNC(t, 3, 4)
+	for _, nd := range nodes {
+		nd.Policy.SetOptOut(true)
+	}
+	g, err := br.Gather(sensor.Temperature, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Denied != 3 {
+		t.Fatalf("denied %d, want 3", g.Denied)
+	}
+	if g.NodesUsed != 0 || g.InfraUsed != 10 {
+		t.Fatalf("nodes %d infra %d", g.NodesUsed, g.InfraUsed)
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	br, _, _ := testNC(t, 1, 5)
+	if _, err := br.Gather(sensor.Temperature, 0); err == nil {
+		t.Fatal("want budget error")
+	}
+	// Budget above the cell count clamps.
+	g, err := br.Gather(sensor.Temperature, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Locs) != 64 {
+		t.Fatalf("clamped gather %d, want 64", len(g.Locs))
+	}
+}
+
+func TestReconstructRecoversPlume(t *testing.T) {
+	br, truth, _ := testNC(t, 6, 6)
+	rec, err := br.Reconstruct(sensor.Temperature, 28, ReconstructOptions{Basis: basis.KindDCT, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmse := cs.NMSE(truth.Data, rec.Field.Data)
+	if nmse > 0.01 {
+		t.Fatalf("plume reconstruction NMSE %v, want < 1%%", nmse)
+	}
+	// The hotspot localizes to within one cell.
+	r, c, _ := rec.Field.MaxLoc()
+	if (r-3)*(r-3)+(c-5)*(c-5) > 2 {
+		t.Fatalf("hotspot found at (%d,%d), truth (3,5)", r, c)
+	}
+}
+
+func TestReconstructGLSOption(t *testing.T) {
+	br, truth, _ := testNC(t, 6, 7)
+	rec, err := br.Reconstruct(sensor.Temperature, 28, ReconstructOptions{UseGLS: true, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmse := cs.NMSE(truth.Data, rec.Field.Data); nmse > 0.05 {
+		t.Fatalf("GLS reconstruction NMSE %v", nmse)
+	}
+}
+
+func TestReconstructDefaultsKHeuristic(t *testing.T) {
+	br, _, _ := testNC(t, 4, 8)
+	rec, err := br.Reconstruct(sensor.Temperature, 24, ReconstructOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Result.Support) > 24/3 {
+		t.Fatalf("support %d exceeds K heuristic", len(rec.Result.Support))
+	}
+}
+
+func TestBatterySelectionPrefersFullNodes(t *testing.T) {
+	// Build an NC with the battery policy; drain half the fleet and check
+	// the drained nodes are not solicited while full ones remain.
+	truth := field.GenSmoothGradient(8, 8, 20, 5, 2)
+	env := fieldEnv{f: truth}
+	b := bus.New()
+	defer b.Close()
+	br, err := New(Config{ID: "nc0", Seed: 9, Timeout: 2 * time.Second, Selection: SelectBattery}, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var nodes []*node.Node
+	for i := 0; i < 6; i++ {
+		mob, err := mobility.NewRandomWaypoint(rand.New(rand.NewSource(rng.Int63())), 80, 80, 1, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := node.New(node.Config{
+			ID: fmt.Sprintf("n%d", i), Seed: rng.Int63(), Battery: 1000,
+		}, env, mob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.AttachBus(b, "nc0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Register(nd.ID); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		defer nd.Detach()
+	}
+	// Drain nodes 0-2 to ~10%.
+	for i := 0; i < 3; i++ {
+		nodes[i].Battery.Drain(900)
+	}
+	g, err := br.Gather(sensor.Temperature, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodesUsed == 0 {
+		t.Fatal("no mobile nodes used")
+	}
+	// Full nodes are solicited strictly before drained ones: once a
+	// drained node appears in the contribution order, no full node may
+	// follow. (A full node can be skipped for duplicate coverage, letting
+	// the walk reach a drained node — that ordering is still correct.)
+	drained := map[string]bool{"n0": true, "n1": true, "n2": true}
+	seenDrained := false
+	for _, id := range g.NodeIDs {
+		if id == "" {
+			continue
+		}
+		if drained[id] {
+			seenDrained = true
+		} else if seenDrained {
+			t.Fatalf("full node %s solicited after a drained node (ids=%v)", id, g.NodeIDs)
+		}
+	}
+	if d := g.NodeIDs[0]; drained[d] {
+		t.Fatalf("first solicited node %s is drained (ids=%v)", d, g.NodeIDs)
+	}
+}
+
+func TestGatherRecordsNodeIDs(t *testing.T) {
+	br, _, _ := testNC(t, 3, 10)
+	g, err := br.Gather(sensor.Temperature, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.NodeIDs) != len(g.Locs) {
+		t.Fatalf("NodeIDs length %d, want %d", len(g.NodeIDs), len(g.Locs))
+	}
+	mobile, infra := 0, 0
+	for _, id := range g.NodeIDs {
+		if id == "" {
+			infra++
+		} else {
+			mobile++
+		}
+	}
+	if mobile != g.NodesUsed || infra != g.InfraUsed {
+		t.Fatalf("NodeIDs inconsistent: mobile=%d infra=%d vs %d/%d", mobile, infra, g.NodesUsed, g.InfraUsed)
+	}
+}
+
+func TestGatherSurvivesUnreachableNodes(t *testing.T) {
+	// Register ghosts that never attached to the bus: requests time out
+	// and the infra fallback still fills the budget.
+	truth := field.GenSmoothGradient(8, 8, 20, 5, 2)
+	env := fieldEnv{f: truth}
+	b := bus.New()
+	defer b.Close()
+	br, err := New(Config{ID: "nc0", Seed: 11, Timeout: 50 * time.Millisecond}, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.Register("ghost1")
+	br.Register("ghost2")
+	g, err := br.Gather(sensor.Temperature, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodesUsed != 0 || g.InfraUsed != 6 {
+		t.Fatalf("gather %+v, want all-infra", g)
+	}
+}

@@ -1,0 +1,278 @@
+// Package bus is SenseDroid's communication layer: a topic-based
+// publish/subscribe message bus with MQTT-style wildcard matching, a
+// request/reply helper, and (tcp.go) a TCP transport so brokers and nodes
+// can also run as separate processes. The paper's middleware "provides
+// libraries and APIs for communication, service discovery, and
+// collaboration … for different network topologies"; pub/sub over a broker
+// covers client-server, and peers subscribing to each other's topics
+// covers peer-to-peer.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one published datagram.
+type Message struct {
+	Topic   string
+	Payload []byte
+}
+
+// Hook observes every publish (for byte accounting / energy metering).
+type Hook func(topic string, payloadBytes int)
+
+// Subscription receives matching messages on C until Unsubscribe is
+// called. Messages that would overflow the buffer are counted as dropped
+// rather than blocking the publisher.
+type Subscription struct {
+	C       <-chan Message
+	pattern string
+	id      uint64
+	bus     *Bus
+	ch      chan Message
+	dropped atomic.Int64
+}
+
+// Pattern returns the subscription's topic pattern.
+func (s *Subscription) Pattern() string { return s.pattern }
+
+// Dropped returns how many messages were discarded due to a full buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Unsubscribe detaches the subscription and closes its channel.
+func (s *Subscription) Unsubscribe() { s.bus.unsubscribe(s) }
+
+// Bus is an in-process pub/sub broker, safe for concurrent use.
+type Bus struct {
+	mu       sync.RWMutex
+	subs     map[uint64]*Subscription
+	nextID   uint64
+	hooks    []Hook
+	retained map[string]Message // last-value cache per topic
+	closed   bool
+}
+
+// ErrClosed reports use of a closed bus.
+var ErrClosed = errors.New("bus: closed")
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{
+		subs:     make(map[uint64]*Subscription),
+		retained: make(map[string]Message),
+	}
+}
+
+// AddHook registers a publish observer.
+func (b *Bus) AddHook(h Hook) {
+	b.mu.Lock()
+	b.hooks = append(b.hooks, h)
+	b.mu.Unlock()
+}
+
+// ValidTopic reports whether a topic is publishable: non-empty, no
+// wildcards, no empty segments.
+func ValidTopic(topic string) bool {
+	if topic == "" {
+		return false
+	}
+	for _, seg := range strings.Split(topic, "/") {
+		if seg == "" || seg == "+" || seg == "#" {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidPattern reports whether a subscription pattern is well formed:
+// non-empty segments, "#" only in final position.
+func ValidPattern(pattern string) bool {
+	if pattern == "" {
+		return false
+	}
+	segs := strings.Split(pattern, "/")
+	for i, seg := range segs {
+		if seg == "" {
+			return false
+		}
+		if seg == "#" && i != len(segs)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Match reports whether a concrete topic matches a pattern. "+" matches
+// exactly one segment; a trailing "#" matches any remainder (including
+// none).
+func Match(pattern, topic string) bool {
+	ps := strings.Split(pattern, "/")
+	ts := strings.Split(topic, "/")
+	i := 0
+	for ; i < len(ps); i++ {
+		if ps[i] == "#" {
+			return true
+		}
+		if i >= len(ts) {
+			return false
+		}
+		if ps[i] != "+" && ps[i] != ts[i] {
+			return false
+		}
+	}
+	return i == len(ts)
+}
+
+// Subscribe registers interest in a pattern with the given channel buffer
+// (min 1).
+func (b *Bus) Subscribe(pattern string, buffer int) (*Subscription, error) {
+	if !ValidPattern(pattern) {
+		return nil, fmt.Errorf("bus: invalid pattern %q", pattern)
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextID++
+	ch := make(chan Message, buffer)
+	sub := &Subscription{C: ch, ch: ch, pattern: pattern, id: b.nextID, bus: b}
+	b.subs[sub.id] = sub
+	// Deliver matching retained messages (last-value cache) so late
+	// joiners see current state immediately.
+	for topic, msg := range b.retained {
+		if Match(pattern, topic) {
+			select {
+			case ch <- msg:
+			default:
+				sub.dropped.Add(1)
+			}
+		}
+	}
+	return sub, nil
+}
+
+func (b *Bus) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s.id]; !ok {
+		return
+	}
+	delete(b.subs, s.id)
+	close(s.ch)
+}
+
+// PublishRetained publishes like Publish and additionally stores the
+// message as the topic's last value: future subscribers whose pattern
+// matches receive it immediately on Subscribe. A nil payload clears the
+// retained value (MQTT semantics).
+func (b *Bus) PublishRetained(topic string, payload []byte) error {
+	if !ValidTopic(topic) {
+		return fmt.Errorf("bus: invalid topic %q", topic)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	if payload == nil {
+		delete(b.retained, topic)
+	} else {
+		b.retained[topic] = Message{Topic: topic, Payload: payload}
+	}
+	b.mu.Unlock()
+	if payload == nil {
+		return nil
+	}
+	return b.Publish(topic, payload)
+}
+
+// Retained returns the stored last value for a topic, if any.
+func (b *Bus) Retained(topic string) (Message, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	m, ok := b.retained[topic]
+	return m, ok
+}
+
+// Publish delivers the message to every matching subscription. It never
+// blocks: a subscriber with a full buffer has the message counted as
+// dropped instead.
+func (b *Bus) Publish(topic string, payload []byte) error {
+	if !ValidTopic(topic) {
+		return fmt.Errorf("bus: invalid topic %q", topic)
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	msg := Message{Topic: topic, Payload: payload}
+	for _, sub := range b.subs {
+		if Match(sub.pattern, topic) {
+			select {
+			case sub.ch <- msg:
+			default:
+				sub.dropped.Add(1)
+			}
+		}
+	}
+	hooks := b.hooks
+	b.mu.RUnlock()
+	for _, h := range hooks {
+		h(topic, len(payload))
+	}
+	return nil
+}
+
+// SubscribeFunc subscribes a handler callback: a worker goroutine drains
+// the subscription and invokes fn for each message until Unsubscribe (or
+// bus Close) ends it. Convenient for fire-and-forget consumers that don't
+// want to manage a channel loop.
+func (b *Bus) SubscribeFunc(pattern string, buffer int, fn func(Message)) (*Subscription, error) {
+	sub, err := b.Subscribe(pattern, buffer)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for msg := range sub.C {
+			fn(msg)
+		}
+	}()
+	return sub, nil
+}
+
+// SubscriberCount returns how many subscriptions currently match topic.
+func (b *Bus) SubscriberCount(topic string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, sub := range b.subs {
+		if Match(sub.pattern, topic) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts the bus; all subscription channels are closed and further
+// operations fail with ErrClosed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.ch)
+	}
+}

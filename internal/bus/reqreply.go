@@ -1,0 +1,84 @@
+package bus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// envelope wraps a request payload with the topic the responder should
+// reply on.
+type envelope struct {
+	ReplyTo string          `json:"replyTo"`
+	Body    json.RawMessage `json:"body"`
+}
+
+var reqCounter atomic.Uint64
+
+// Request publishes body (JSON-encoded) on topic with a unique reply-to
+// topic and waits up to timeout for a single reply, which it decodes into
+// out (out may be nil to discard). It implements the command/telemetry
+// round trip between broker and nodes.
+func Request(b *Bus, topic string, body any, out any, timeout time.Duration) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("bus: encode request: %w", err)
+	}
+	replyTopic := fmt.Sprintf("%s/reply/%d", topic, reqCounter.Add(1))
+	sub, err := b.Subscribe(replyTopic, 1)
+	if err != nil {
+		return err
+	}
+	defer sub.Unsubscribe()
+	env, err := json.Marshal(envelope{ReplyTo: replyTopic, Body: raw})
+	if err != nil {
+		return fmt.Errorf("bus: encode envelope: %w", err)
+	}
+	if err := b.Publish(topic, env); err != nil {
+		return err
+	}
+	select {
+	case msg, ok := <-sub.C:
+		if !ok {
+			return ErrClosed
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(msg.Payload, out); err != nil {
+			return fmt.Errorf("bus: decode reply: %w", err)
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("bus: request on %q timed out after %v", topic, timeout)
+	}
+}
+
+// Respond subscribes to a request topic pattern and serves each request
+// with fn until the subscription closes. fn receives the decoded request
+// body bytes and returns the reply value (JSON-encoded back to the
+// requester). Respond runs in the calling goroutine; start it with go.
+func Respond(b *Bus, pattern string, fn func(topic string, body []byte) (any, error)) error {
+	sub, err := b.Subscribe(pattern, 64)
+	if err != nil {
+		return err
+	}
+	for msg := range sub.C {
+		var env envelope
+		if err := json.Unmarshal(msg.Payload, &env); err != nil {
+			continue // not a request envelope; ignore
+		}
+		reply, err := fn(msg.Topic, env.Body)
+		if err != nil || env.ReplyTo == "" {
+			continue
+		}
+		raw, err := json.Marshal(reply)
+		if err != nil {
+			continue
+		}
+		// Best-effort reply; requester may have timed out.
+		_ = b.Publish(env.ReplyTo, raw)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// frame is the newline-delimited JSON wire format of the TCP transport.
+type frame struct {
+	Op      string `json:"op"`                // "pub", "sub", "msg"
+	Topic   string `json:"topic,omitempty"`   // pub/msg topic or sub pattern
+	Payload []byte `json:"payload,omitempty"` // base64 via encoding/json
+}
+
+// Server bridges a Bus onto a TCP listener so nodes in other processes
+// can participate (the cmd/sensedroid-broker transport).
+type Server struct {
+	bus *Bus
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the bus on addr (e.g. "127.0.0.1:0"). The
+// returned server is already accepting.
+func NewServer(b *Bus, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen: %w", err)
+	}
+	s := &Server{bus: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var (
+		writeMu sync.Mutex
+		subs    []*Subscription
+	)
+	defer func() {
+		for _, sub := range subs {
+			sub.Unsubscribe()
+		}
+	}()
+	enc := json.NewEncoder(conn)
+	send := func(f frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return enc.Encode(f)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var f frame
+		if err := json.Unmarshal(scanner.Bytes(), &f); err != nil {
+			continue
+		}
+		switch f.Op {
+		case "pub":
+			_ = s.bus.Publish(f.Topic, f.Payload)
+		case "sub":
+			sub, err := s.bus.Subscribe(f.Topic, 256)
+			if err != nil {
+				continue
+			}
+			subs = append(subs, sub)
+			go func(sub *Subscription) {
+				for msg := range sub.C {
+					if err := send(frame{Op: "msg", Topic: msg.Topic, Payload: msg.Payload}); err != nil {
+						return
+					}
+				}
+			}(sub)
+		}
+	}
+}
+
+// Close stops accepting and drops all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client is a TCP participant on a remote bus.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu     sync.Mutex
+	subs   []chan Message
+	closed bool
+}
+
+// Dial connects to a bus server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dial: %w", err)
+	}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var f frame
+		if err := json.Unmarshal(scanner.Bytes(), &f); err != nil {
+			continue
+		}
+		if f.Op != "msg" {
+			continue
+		}
+		msg := Message{Topic: f.Topic, Payload: f.Payload}
+		c.mu.Lock()
+		for _, ch := range c.subs {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+		c.mu.Unlock()
+	}
+	// Connection gone: close subscriber channels.
+	c.mu.Lock()
+	for _, ch := range c.subs {
+		close(ch)
+	}
+	c.subs = nil
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Publish sends a message to the remote bus.
+func (c *Client) Publish(topic string, payload []byte) error {
+	if !ValidTopic(topic) {
+		return fmt.Errorf("bus: invalid topic %q", topic)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.enc.Encode(frame{Op: "pub", Topic: topic, Payload: payload})
+}
+
+// Subscribe asks the server for a pattern; matching messages arrive on the
+// returned channel. All of the client's subscriptions share one TCP
+// stream, so each channel receives every subscribed message that matches
+// any pattern; callers filter with Match if they need exactness.
+func (c *Client) Subscribe(pattern string) (<-chan Message, error) {
+	if !ValidPattern(pattern) {
+		return nil, fmt.Errorf("bus: invalid pattern %q", pattern)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if err := c.enc.Encode(frame{Op: "sub", Topic: pattern}); err != nil {
+		return nil, err
+	}
+	ch := make(chan Message, 256)
+	c.subs = append(c.subs, ch)
+	return ch, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// ErrClientClosed reports use after Close.
+var ErrClientClosed = errors.New("bus: client closed")

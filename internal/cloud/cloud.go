@@ -1,0 +1,305 @@
+// Package cloud implements the upper tiers of the paper's Fig. 1
+// hierarchy: a ZoneEnv mapping each zone's local grid onto the global
+// field, a LocalCloud that concatenates the gathers of its NanoCloud
+// brokers and reconstructs its zone, and a PublicCloud that divides the
+// total measurement budget across zones — uniformly (the Luo-style global
+// baseline) or adaptively by local sparsity and criticality (the paper's
+// hierarchical scheme) — and assembles the global field from the zone
+// reconstructions.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/broker"
+	"repro/internal/field"
+	"repro/internal/node"
+	"repro/internal/sensor"
+)
+
+// ZoneEnv exposes one zone of a (live) global field as a node.Environment:
+// grid indices are zone-local, physical area spans the zone with the given
+// meters-per-cell scale.
+type ZoneEnv struct {
+	mu     sync.RWMutex
+	global *field.Field
+	zone   field.Zone
+	scale  float64 // meters per grid cell
+}
+
+// NewZoneEnv wraps a zone of the global field.
+func NewZoneEnv(global *field.Field, zone field.Zone, metersPerCell float64) (*ZoneEnv, error) {
+	if global == nil {
+		return nil, errors.New("cloud: nil global field")
+	}
+	if metersPerCell <= 0 {
+		metersPerCell = 10
+	}
+	if zone.Row0+zone.H > global.H || zone.Col0+zone.W > global.W {
+		return nil, fmt.Errorf("cloud: zone %d exceeds field bounds", zone.ID)
+	}
+	return &ZoneEnv{global: global, zone: zone, scale: metersPerCell}, nil
+}
+
+// SetGlobal swaps the live global field (e.g. the next time step).
+func (z *ZoneEnv) SetGlobal(f *field.Field) {
+	z.mu.Lock()
+	z.global = f
+	z.mu.Unlock()
+}
+
+// FieldValue returns the global truth at a zone-local grid index.
+func (z *ZoneEnv) FieldValue(kind sensor.Kind, gridIdx int) float64 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	sub := field.Field{W: z.zone.W, H: z.zone.H}
+	r, c := sub.Loc(gridIdx)
+	return z.global.At(z.zone.Row0+r, z.zone.Col0+c)
+}
+
+// GridDims returns the zone grid dimensions.
+func (z *ZoneEnv) GridDims() (int, int) { return z.zone.W, z.zone.H }
+
+// AreaDims returns the zone's physical extent in meters.
+func (z *ZoneEnv) AreaDims() (float64, float64) {
+	return float64(z.zone.W) * z.scale, float64(z.zone.H) * z.scale
+}
+
+// Zone returns the wrapped zone.
+func (z *ZoneEnv) Zone() field.Zone {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.zone
+}
+
+// SetCriticality updates the zone's criticality weight used by adaptive
+// budgeting.
+func (z *ZoneEnv) SetCriticality(c float64) {
+	z.mu.Lock()
+	z.zone.Criticality = c
+	z.mu.Unlock()
+}
+
+var _ node.Environment = (*ZoneEnv)(nil)
+
+// --- LocalCloud -----------------------------------------------------------------
+
+// LocalCloud owns one zone: several NanoCloud brokers whose merged
+// telemetry reconstructs the zone subfield.
+type LocalCloud struct {
+	Env     *ZoneEnv
+	Brokers []*broker.Broker
+}
+
+// NewLocalCloud groups brokers under a zone environment.
+func NewLocalCloud(env *ZoneEnv, brokers ...*broker.Broker) (*LocalCloud, error) {
+	if env == nil {
+		return nil, errors.New("cloud: nil zone environment")
+	}
+	if len(brokers) == 0 {
+		return nil, errors.New("cloud: local cloud needs at least one broker")
+	}
+	return &LocalCloud{Env: env, Brokers: brokers}, nil
+}
+
+// Gather splits the zone's measurement budget evenly across the LC's
+// NanoCloud brokers and concatenates their telemetry, deduplicating grid
+// cells ("the nodes … concatenate the results of the NCs for the local
+// region"). Infrastructure fallback inside each broker keeps the total on
+// budget even when mobile coverage is short.
+func (lc *LocalCloud) Gather(kind sensor.Kind, m int) (*broker.GatherResult, error) {
+	if m <= 0 {
+		return nil, errors.New("cloud: budget must be positive")
+	}
+	per := m / len(lc.Brokers)
+	extra := m % len(lc.Brokers)
+	merged := &broker.GatherResult{}
+	seen := map[int]bool{}
+	for i, br := range lc.Brokers {
+		want := per
+		if i < extra {
+			want++
+		}
+		if want == 0 {
+			continue
+		}
+		g, err := br.Gather(kind, want)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: broker %s: %w", br.ID, err)
+		}
+		for j, loc := range g.Locs {
+			if seen[loc] {
+				continue
+			}
+			seen[loc] = true
+			merged.Locs = append(merged.Locs, loc)
+			merged.Values = append(merged.Values, g.Values[j])
+			merged.Sigmas = append(merged.Sigmas, g.Sigmas[j])
+			if j < len(g.NodeIDs) {
+				merged.NodeIDs = append(merged.NodeIDs, g.NodeIDs[j])
+			} else {
+				merged.NodeIDs = append(merged.NodeIDs, "")
+			}
+		}
+		merged.NodesUsed += g.NodesUsed
+		merged.InfraUsed += g.InfraUsed
+		merged.Denied += g.Denied
+	}
+	if len(merged.Locs) == 0 {
+		return nil, errors.New("cloud: zone gather produced no measurements")
+	}
+	return merged, nil
+}
+
+// Reconstruct gathers m measurements across the LC's brokers and recovers
+// the zone subfield.
+func (lc *LocalCloud) Reconstruct(kind sensor.Kind, m int, opts broker.ReconstructOptions) (*broker.Reconstruction, error) {
+	g, err := lc.Gather(kind, m)
+	if err != nil {
+		return nil, err
+	}
+	return lc.Brokers[0].ReconstructFrom(g, opts)
+}
+
+// --- PublicCloud -----------------------------------------------------------------
+
+// PublicCloud assembles the global field from its local clouds.
+type PublicCloud struct {
+	W, H int
+	LCs  []*LocalCloud
+}
+
+// NewPublicCloud validates that the LCs tile a w×h field.
+func NewPublicCloud(w, h int, lcs []*LocalCloud) (*PublicCloud, error) {
+	if len(lcs) == 0 {
+		return nil, errors.New("cloud: public cloud needs local clouds")
+	}
+	covered := 0
+	for _, lc := range lcs {
+		z := lc.Env.Zone()
+		covered += z.W * z.H
+	}
+	if covered != w*h {
+		return nil, fmt.Errorf("cloud: zones cover %d cells of %d", covered, w*h)
+	}
+	return &PublicCloud{W: w, H: h, LCs: lcs}, nil
+}
+
+// BudgetPlan maps zone ID → measurement count.
+type BudgetPlan map[int]int
+
+// UniformBudget splits the total budget evenly across zones — the global
+// baseline that ignores regional fluctuations.
+func (pc *PublicCloud) UniformBudget(total int) BudgetPlan {
+	plan := BudgetPlan{}
+	per := total / len(pc.LCs)
+	extra := total % len(pc.LCs)
+	for i, lc := range pc.LCs {
+		m := per
+		if i < extra {
+			m++
+		}
+		plan[lc.Env.Zone().ID] = m
+	}
+	return plan
+}
+
+// AdaptiveBudget allocates the total budget proportionally to each zone's
+// estimated local sparsity (from prior data) times its criticality — the
+// paper's "number of random observations from any region should correspond
+// to the local spatio-temporal sparsity … multi-resolution compressive
+// thresholds based on the size and importance". Every zone keeps a minimum
+// of minPerZone measurements, and no zone exceeds its cell count.
+func (pc *PublicCloud) AdaptiveBudget(total int, prior *field.Field, energyFrac float64, minPerZone int) (BudgetPlan, error) {
+	if prior == nil {
+		return nil, errors.New("cloud: adaptive budget needs a prior field")
+	}
+	if prior.W != pc.W || prior.H != pc.H {
+		return nil, fmt.Errorf("cloud: prior field %dx%d, want %dx%d", prior.H, prior.W, pc.H, pc.W)
+	}
+	if minPerZone < 1 {
+		minPerZone = 1
+	}
+	type zinfo struct {
+		id     int
+		weight float64
+		cells  int
+	}
+	infos := make([]zinfo, 0, len(pc.LCs))
+	sum := 0.0
+	for _, lc := range pc.LCs {
+		z := lc.Env.Zone()
+		sub := field.Extract(prior, z)
+		k, err := field.LocalSparsity(sub, energyFrac)
+		if err != nil {
+			return nil, err
+		}
+		crit := z.Criticality
+		if crit <= 0 {
+			crit = 1
+		}
+		w := (float64(k) + 1) * crit
+		infos = append(infos, zinfo{id: z.ID, weight: w, cells: z.W * z.H})
+		sum += w
+	}
+	plan := BudgetPlan{}
+	used := 0
+	for _, zi := range infos {
+		m := minPerZone + int(float64(total-minPerZone*len(infos))*zi.weight/sum)
+		if m > zi.cells {
+			m = zi.cells
+		}
+		plan[zi.id] = m
+		used += m
+	}
+	// Distribute rounding remainder to the heaviest zones.
+	for used < total {
+		grew := false
+		for _, zi := range infos {
+			if used >= total {
+				break
+			}
+			if plan[zi.id] < zi.cells {
+				plan[zi.id]++
+				used++
+				grew = true
+			}
+		}
+		if !grew {
+			break // every zone saturated
+		}
+	}
+	return plan, nil
+}
+
+// ZoneReport is one zone's reconstruction outcome.
+type ZoneReport struct {
+	Zone           field.Zone
+	Reconstruction *broker.Reconstruction
+	Budget         int
+}
+
+// Assemble runs every LC's reconstruction under the budget plan and
+// stitches the zone subfields into the global estimate.
+func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
+	global := field.New(pc.W, pc.H)
+	reports := make(map[int]*ZoneReport, len(pc.LCs))
+	for _, lc := range pc.LCs {
+		z := lc.Env.Zone()
+		m, ok := plan[z.ID]
+		if !ok || m <= 0 {
+			return nil, nil, fmt.Errorf("cloud: no budget for zone %d", z.ID)
+		}
+		rec, err := lc.Reconstruct(kind, m, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cloud: zone %d: %w", z.ID, err)
+		}
+		if err := field.Insert(global, z, rec.Field); err != nil {
+			return nil, nil, err
+		}
+		reports[z.ID] = &ZoneReport{Zone: z, Reconstruction: rec, Budget: m}
+	}
+	return global, reports, nil
+}

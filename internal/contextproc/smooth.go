@@ -1,0 +1,104 @@
+package contextproc
+
+import (
+	"errors"
+	"math"
+)
+
+// Activity sequences classified window-by-window flicker at transitions
+// and under noise. SmoothActivities runs Viterbi decoding over the raw
+// per-window classifications with a sticky transition prior, recovering
+// the most likely true activity sequence — the standard post-processing
+// for continuous context sensing.
+
+// SmootherConfig tunes the HMM used by SmoothActivities.
+type SmootherConfig struct {
+	// StayProb is the prior probability of remaining in the same activity
+	// between adjacent windows (default 0.9). Higher = stickier.
+	StayProb float64
+	// EmitCorrect is the probability the raw classifier labels the true
+	// activity correctly (default 0.8); errors spread evenly over the
+	// other activities.
+	EmitCorrect float64
+}
+
+var allActivities = []Activity{ActivityIdle, ActivityWalking, ActivityDriving}
+
+// SmoothActivities returns the maximum-likelihood activity sequence given
+// the raw per-window classifications, under a sticky-transition HMM.
+func SmoothActivities(raw []Activity, cfg SmootherConfig) ([]Activity, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("contextproc: empty activity sequence")
+	}
+	if cfg.StayProb <= 0 || cfg.StayProb >= 1 {
+		cfg.StayProb = 0.9
+	}
+	if cfg.EmitCorrect <= 0 || cfg.EmitCorrect >= 1 {
+		cfg.EmitCorrect = 0.8
+	}
+	nStates := len(allActivities)
+	idx := map[Activity]int{}
+	for i, a := range allActivities {
+		idx[a] = i
+	}
+	for _, a := range raw {
+		if _, ok := idx[a]; !ok {
+			return nil, errors.New("contextproc: unknown activity " + string(a))
+		}
+	}
+	logStay := math.Log(cfg.StayProb)
+	logMove := math.Log((1 - cfg.StayProb) / float64(nStates-1))
+	logHit := math.Log(cfg.EmitCorrect)
+	logMiss := math.Log((1 - cfg.EmitCorrect) / float64(nStates-1))
+
+	// Viterbi.
+	t := len(raw)
+	delta := make([][]float64, t)
+	back := make([][]int, t)
+	for i := range delta {
+		delta[i] = make([]float64, nStates)
+		back[i] = make([]int, nStates)
+	}
+	obs0 := idx[raw[0]]
+	for s := 0; s < nStates; s++ {
+		e := logMiss
+		if s == obs0 {
+			e = logHit
+		}
+		delta[0][s] = math.Log(1.0/float64(nStates)) + e
+	}
+	for step := 1; step < t; step++ {
+		obs := idx[raw[step]]
+		for s := 0; s < nStates; s++ {
+			bestPrev, bestVal := 0, math.Inf(-1)
+			for p := 0; p < nStates; p++ {
+				trans := logMove
+				if p == s {
+					trans = logStay
+				}
+				if v := delta[step-1][p] + trans; v > bestVal {
+					bestVal, bestPrev = v, p
+				}
+			}
+			e := logMiss
+			if s == obs {
+				e = logHit
+			}
+			delta[step][s] = bestVal + e
+			back[step][s] = bestPrev
+		}
+	}
+	// Backtrack.
+	best, bestVal := 0, math.Inf(-1)
+	for s := 0; s < nStates; s++ {
+		if delta[t-1][s] > bestVal {
+			bestVal, best = delta[t-1][s], s
+		}
+	}
+	out := make([]Activity, t)
+	for step := t - 1; step >= 0; step-- {
+		out[step] = allActivities[best]
+		best = back[step][best]
+	}
+	return out, nil
+}

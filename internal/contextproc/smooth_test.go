@@ -1,0 +1,102 @@
+package contextproc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSmoothActivitiesRemovesGlitches(t *testing.T) {
+	// A long walking run with isolated misclassifications.
+	raw := make([]Activity, 20)
+	for i := range raw {
+		raw[i] = ActivityWalking
+	}
+	raw[5] = ActivityDriving
+	raw[13] = ActivityIdle
+	out, err := SmoothActivities(raw, SmootherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range out {
+		if a != ActivityWalking {
+			t.Fatalf("window %d smoothed to %s, want walking", i, a)
+		}
+	}
+}
+
+func TestSmoothActivitiesKeepsRealTransitions(t *testing.T) {
+	// A genuine transition (sustained run of the new activity) survives.
+	raw := make([]Activity, 20)
+	for i := range raw {
+		if i < 10 {
+			raw[i] = ActivityIdle
+		} else {
+			raw[i] = ActivityDriving
+		}
+	}
+	out, err := SmoothActivities(raw, SmootherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != ActivityIdle || out[19] != ActivityDriving {
+		t.Fatalf("transition lost: %v", out)
+	}
+	// The change point stays near window 10.
+	change := -1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			change = i
+			break
+		}
+	}
+	if change < 8 || change > 12 {
+		t.Fatalf("change point at %d, want near 10", change)
+	}
+}
+
+func TestSmoothActivitiesImprovesNoisyAccuracy(t *testing.T) {
+	// Ground truth alternates in long blocks; classifier flips 15% of
+	// windows. Smoothing must improve agreement.
+	rng := rand.New(rand.NewSource(5))
+	truth := make([]Activity, 120)
+	for i := range truth {
+		truth[i] = allActivities[(i/30)%3]
+	}
+	raw := make([]Activity, len(truth))
+	copy(raw, truth)
+	for i := range raw {
+		if rng.Float64() < 0.15 {
+			raw[i] = allActivities[rng.Intn(3)]
+		}
+	}
+	out, err := SmoothActivities(raw, SmootherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accRaw, accSmooth := 0, 0
+	for i := range truth {
+		if raw[i] == truth[i] {
+			accRaw++
+		}
+		if out[i] == truth[i] {
+			accSmooth++
+		}
+	}
+	if accSmooth <= accRaw {
+		t.Fatalf("smoothing did not help: raw %d vs smooth %d of %d", accRaw, accSmooth, len(truth))
+	}
+}
+
+func TestSmoothActivitiesValidation(t *testing.T) {
+	if _, err := SmoothActivities(nil, SmootherConfig{}); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := SmoothActivities([]Activity{"flying"}, SmootherConfig{}); err == nil {
+		t.Fatal("want unknown-activity error")
+	}
+	// Degenerate config values fall back to defaults rather than failing.
+	out, err := SmoothActivities([]Activity{ActivityIdle}, SmootherConfig{StayProb: 2, EmitCorrect: -1})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("defaults not applied: %v %v", out, err)
+	}
+}

@@ -1,0 +1,57 @@
+package contextproc
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// CountSteps estimates walking steps in a vertical-axis accelerometer
+// window — the pedometer virtual sensor (the UbiFit-style activity
+// tracking the paper's wellness use case builds on). Peaks are detected
+// on the mean-removed signal with an adaptive threshold (a fraction of
+// the window's standard deviation) and a refractory period that rejects
+// double-counting within a physiologically impossible gap (< 0.25 s, i.e.
+// above 4 steps/s).
+func CountSteps(xs []float64, rateHz float64) (int, error) {
+	if len(xs) < 8 {
+		return 0, errors.New("contextproc: window too short for step counting")
+	}
+	if rateHz <= 0 {
+		return 0, errors.New("contextproc: sample rate must be positive")
+	}
+	mean := mat.Mean(xs)
+	sd := math.Sqrt(mat.Variance(xs))
+	if sd < 0.3 {
+		return 0, nil // too quiet to be walking
+	}
+	threshold := 0.6 * sd
+	refractory := int(0.25 * rateHz)
+	if refractory < 1 {
+		refractory = 1
+	}
+	steps := 0
+	lastPeak := -refractory - 1
+	for i := 1; i < len(xs)-1; i++ {
+		v := xs[i] - mean
+		if v < threshold {
+			continue
+		}
+		if xs[i] >= xs[i-1] && xs[i] >= xs[i+1] && i-lastPeak > refractory {
+			steps++
+			lastPeak = i
+		}
+	}
+	return steps, nil
+}
+
+// Cadence returns steps per second for a window.
+func Cadence(xs []float64, rateHz float64) (float64, error) {
+	steps, err := CountSteps(xs, rateHz)
+	if err != nil {
+		return 0, err
+	}
+	dur := float64(len(xs)) / rateHz
+	return float64(steps) / dur, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/query"
+)
+
+// Context service: nodes publish their context snapshots as *retained*
+// messages on their NanoCloud bus ("<broker>/ctx/<node>"), so any
+// subscriber — including one that joins late — sees the current group
+// state; consumers pull "only the relevant information" through the query
+// filter language. This is the paper's "Query and Filtering" feature
+// running over the middleware's own communication layer.
+
+// ContextTopic returns the retained-context topic for a node.
+func ContextTopic(brokerID, nodeID string) string {
+	return fmt.Sprintf("%s/ctx/%s", brokerID, nodeID)
+}
+
+// PublishContexts runs on-device context sensing on every node and
+// publishes each report retained on its NanoCloud bus. It returns the
+// reports in node order.
+func (sd *SenseDroid) PublishContexts(windowLen int, rateHz float64) ([]node.ContextReport, error) {
+	reports := make([]node.ContextReport, 0, len(sd.Nodes))
+	for _, n := range sd.Nodes {
+		rep, err := n.SenseContext(windowLen, rateHz, nil)
+		if err != nil {
+			return nil, err
+		}
+		b, brokerID, ok := sd.busFor(n.ID)
+		if !ok {
+			return nil, fmt.Errorf("core: no bus for node %s", n.ID)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.PublishRetained(ContextTopic(brokerID, n.ID), raw); err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// QueryContexts evaluates a filter expression against every retained
+// context report in the deployment and returns the matches. Available
+// fields: node (string), activity (string), stress (number),
+// indoor (bool).
+func (sd *SenseDroid) QueryContexts(src string) ([]node.ContextReport, error) {
+	flt, err := query.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []node.ContextReport
+	for _, n := range sd.Nodes {
+		b, brokerID, ok := sd.busFor(n.ID)
+		if !ok {
+			continue
+		}
+		msg, ok := b.Retained(ContextTopic(brokerID, n.ID))
+		if !ok {
+			continue // node has not published yet
+		}
+		var rep node.ContextReport
+		if err := json.Unmarshal(msg.Payload, &rep); err != nil {
+			continue
+		}
+		env := query.Env{
+			"node":     rep.NodeID,
+			"activity": string(rep.Activity),
+			"stress":   rep.Stress,
+			"indoor":   rep.Indoor,
+		}
+		match, err := flt.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: filter %q on %s: %w", src, rep.NodeID, err)
+		}
+		if match {
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/contextproc"
+	"repro/internal/field"
+	"repro/internal/sensor"
+)
+
+func smallOpts() Options {
+	return Options{
+		FieldW: 16, FieldH: 16,
+		ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 4,
+		Seed: 11,
+	}
+}
+
+func plumeTruth() *field.Field {
+	return field.GenPlumes(16, 16, 12, []field.Plume{
+		{Row: 4, Col: 4, Sigma: 2, Amplitude: 30},
+		{Row: 11, Col: 12, Sigma: 3, Amplitude: 20},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Options{
+		{},
+		{FieldW: 8, FieldH: 8},
+		{FieldW: 8, FieldH: 8, ZoneRows: 3, ZoneCols: 2},
+		{FieldW: 8, FieldH: 8, ZoneRows: 2, ZoneCols: 2, NodesPerNC: -1},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewBuildsFullHierarchy(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if len(sd.Public.LCs) != 4 {
+		t.Fatalf("local clouds %d, want 4", len(sd.Public.LCs))
+	}
+	if len(sd.Nodes) != 16 {
+		t.Fatalf("nodes %d, want 16", len(sd.Nodes))
+	}
+	if len(sd.Buses) != 4 {
+		t.Fatalf("buses %d, want 4", len(sd.Buses))
+	}
+}
+
+func TestSetTruthShape(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.SetTruth(field.New(4, 4)); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := sd.SetTruth(plumeTruth()); err != nil {
+		t.Fatal(err)
+	}
+	if sd.Truth.At(4, 4) < 30 {
+		t.Fatal("truth not installed")
+	}
+}
+
+func TestRunCampaignUniform(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.SetTruth(plumeTruth()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sd.RunCampaign(CampaignConfig{TotalM: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalNMSE > 0.05 {
+		t.Fatalf("campaign NMSE %v", res.GlobalNMSE)
+	}
+	if res.Measurements == 0 || len(res.Zones) != 4 || len(res.ZoneNMSE) != 4 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.NodesUsed == 0 {
+		t.Fatal("no mobile nodes participated")
+	}
+	// Hotspot localization on the assembled field.
+	r, c, _ := res.Reconstructed.MaxLoc()
+	if (r-4)*(r-4)+(c-4)*(c-4) > 4 {
+		t.Fatalf("hotspot at (%d,%d), truth (4,4)", r, c)
+	}
+	// Bus traffic and node energy were accounted.
+	if sd.BusBytes() == 0 {
+		t.Fatal("no bus bytes counted")
+	}
+	if sd.TotalEnergyMJ() == 0 {
+		t.Fatal("no energy charged")
+	}
+}
+
+func TestRunCampaignAdaptiveBeatsUniformOnLocalizedField(t *testing.T) {
+	// A field active in only one zone: adaptive budgeting should not lose
+	// to uniform at equal total budget (averaged over repeats).
+	truth := field.GenPlumes(16, 16, 5, []field.Plume{{Row: 12, Col: 12, Sigma: 1.8, Amplitude: 50}})
+	wins := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		opts := smallOpts()
+		opts.Seed = int64(100 + trial)
+		sd, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.SetTruth(truth); err != nil {
+			t.Fatal(err)
+		}
+		uni, err := sd.RunCampaign(CampaignConfig{TotalM: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ada, err := sd.RunCampaign(CampaignConfig{TotalM: 60, Adaptive: true, Prior: truth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ada.GlobalNMSE <= uni.GlobalNMSE {
+			wins++
+		}
+		// Adaptive plan concentrates on zone 3 (bottom-right).
+		if ada.Plan[3] <= ada.Plan[0] {
+			t.Fatalf("adaptive plan %v does not favor the active zone", ada.Plan)
+		}
+		sd.Close()
+	}
+	if wins < trials/2 {
+		t.Fatalf("adaptive beat uniform in only %d/%d trials", wins, trials)
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if _, err := sd.RunCampaign(CampaignConfig{}); err == nil {
+		t.Fatal("want budget error")
+	}
+	if _, err := sd.RunCampaign(CampaignConfig{TotalM: 40, Adaptive: true}); err == nil {
+		t.Fatal("want prior error")
+	}
+}
+
+func TestSetCriticality(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.SetCriticality(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.SetCriticality(99, 5); err == nil {
+		t.Fatal("want unknown-zone error")
+	}
+	for _, lc := range sd.Public.LCs {
+		if lc.Env.Zone().ID == 2 && lc.Env.Zone().Criticality != 5 {
+			t.Fatal("criticality not applied")
+		}
+	}
+}
+
+func TestTickMovesNodes(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	before := make([]int, len(sd.Nodes))
+	for i, n := range sd.Nodes {
+		before[i] = n.GridIndex()
+	}
+	for i := 0; i < 30; i++ {
+		sd.Tick(5)
+	}
+	moved := 0
+	for i, n := range sd.Nodes {
+		if n.GridIndex() != before[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no node changed cell after 150 s of movement")
+	}
+	if sd.TotalEnergyMJ() == 0 {
+		t.Fatal("idle energy not charged")
+	}
+}
+
+func TestGroupContexts(t *testing.T) {
+	opts := smallOpts()
+	opts.NodesPerNC = 2
+	sd, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	reports, err := sd.GroupContexts(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(sd.Nodes) {
+		t.Fatalf("reports %d for %d nodes", len(reports), len(sd.Nodes))
+	}
+	members := make([]contextproc.MemberContext, len(reports))
+	for i, r := range reports {
+		members[i] = contextproc.MemberContext{
+			Member: r.NodeID, Activity: r.Activity, Stress: r.Stress, Indoor: r.Indoor,
+		}
+	}
+	g, err := contextproc.FuseGroup(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nodes walk by construction.
+	if g.MajorityAct != contextproc.ActivityWalking {
+		t.Fatalf("group activity %s", g.MajorityAct)
+	}
+}
+
+func TestCampaignWithGLSAndKindDefaults(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.SetTruth(plumeTruth()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig{TotalM: 80}
+	cfg.Recon.UseGLS = true
+	res, err := sd.RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalNMSE > 0.1 {
+		t.Fatalf("GLS campaign NMSE %v", res.GlobalNMSE)
+	}
+	_ = sensor.Temperature // default kind exercised above
+}
+
+func TestDirectoryTracksHierarchy(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokers := sd.Directory.ByKind("broker")
+	nodes := sd.Directory.ByKind("node")
+	if len(brokers) != 4 {
+		t.Fatalf("directory brokers %d, want 4", len(brokers))
+	}
+	if len(nodes) != 16 {
+		t.Fatalf("directory nodes %d, want 16", len(nodes))
+	}
+	// Every node entry names its broker.
+	for _, n := range nodes {
+		if n.Metadata["broker"] == "" {
+			t.Fatalf("node %s has no broker metadata", n.Name)
+		}
+	}
+	sd.Close()
+	if got := sd.Directory.ByKind("node"); len(got) != 0 {
+		t.Fatalf("nodes still announced after Close: %d", len(got))
+	}
+}
+
+func TestMultipleNCsPerZone(t *testing.T) {
+	opts := smallOpts()
+	opts.NCsPerZone = 2
+	opts.NodesPerNC = 2
+	sd, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if len(sd.Buses) != 8 {
+		t.Fatalf("buses %d, want 8 (2 NCs x 4 zones)", len(sd.Buses))
+	}
+	if err := sd.SetTruth(plumeTruth()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sd.RunCampaign(CampaignConfig{TotalM: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalNMSE > 0.05 {
+		t.Fatalf("multi-NC campaign NMSE %v", res.GlobalNMSE)
+	}
+}
+
+func TestRunTemporalCampaignJointBeatsStatic(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	evolve := func(step int) *field.Field {
+		return field.GenPlumes(16, 16, 12, []field.Plume{{
+			Row: 4 + 0.4*float64(step), Col: 4 + 0.3*float64(step),
+			Sigma: 2.2, Amplitude: 30,
+		}})
+	}
+	res, err := sd.RunTemporalCampaign(TemporalCampaignConfig{
+		Steps: 6, TotalM: 48, Evolve: evolve, Compare: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fields) != 6 || len(res.PerStepNMSE) != 6 {
+		t.Fatalf("result shape %+v", res)
+	}
+	if res.MeanNMSE >= res.MeanStatic {
+		t.Fatalf("joint %v not below static %v on identical measurements",
+			res.MeanNMSE, res.MeanStatic)
+	}
+	if res.MeanNMSE > 0.1 {
+		t.Fatalf("joint NMSE %v too large", res.MeanNMSE)
+	}
+	// The recovered final field localizes the moved plume.
+	r, c, _ := res.Fields[5].MaxLoc()
+	if (r-6)*(r-6)+(c-6)*(c-6) > 8 {
+		t.Fatalf("final hotspot at (%d,%d), truth near (6,6)", r, c)
+	}
+}
+
+func TestRunTemporalCampaignValidation(t *testing.T) {
+	sd, err := New(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if _, err := sd.RunTemporalCampaign(TemporalCampaignConfig{Steps: 3, TotalM: 40}); err == nil {
+		t.Fatal("want Evolve error")
+	}
+	evolve := func(int) *field.Field { return field.New(16, 16) }
+	if _, err := sd.RunTemporalCampaign(TemporalCampaignConfig{Evolve: evolve}); err == nil {
+		t.Fatal("want Steps/TotalM error")
+	}
+}
+
+func TestContextServicePublishAndQuery(t *testing.T) {
+	opts := smallOpts()
+	opts.NodesPerNC = 2
+	sd, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	reports, err := sd.PublishContexts(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(sd.Nodes) {
+		t.Fatalf("published %d of %d", len(reports), len(sd.Nodes))
+	}
+	// All nodes walk by construction → the walking filter matches all.
+	walkers, err := sd.QueryContexts("activity == 'walking'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walkers) != len(sd.Nodes) {
+		t.Fatalf("walking filter matched %d of %d", len(walkers), len(sd.Nodes))
+	}
+	// An impossible filter matches none.
+	none, err := sd.QueryContexts("stress > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("impossible filter matched %d", len(none))
+	}
+	// A single-node filter matches exactly one.
+	one, err := sd.QueryContexts("node == '" + sd.Nodes[0].ID + "'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].NodeID != sd.Nodes[0].ID {
+		t.Fatalf("node filter got %v", one)
+	}
+	// Bad filter reports a compile error.
+	if _, err := sd.QueryContexts("((("); err == nil {
+		t.Fatal("want compile error")
+	}
+	// Retained delivery: a late subscriber on any NC bus sees a context.
+	b, brokerID, ok := sd.busFor(sd.Nodes[0].ID)
+	if !ok {
+		t.Fatal("busFor failed")
+	}
+	if _, ok := b.Retained(ContextTopic(brokerID, sd.Nodes[0].ID)); !ok {
+		t.Fatal("context not retained on the bus")
+	}
+}

@@ -1,0 +1,122 @@
+// Package coverage implements the spatial and temporal coverage metrics
+// for mobile sensing campaigns (after Weinschrott et al.'s StreamShaper,
+// which the paper's related work draws on): how much of the area has been
+// sensed recently enough to be trusted.
+package coverage
+
+import (
+	"errors"
+	"sort"
+)
+
+// Log accumulates (cell, time) sensing events over a w×h grid.
+type Log struct {
+	w, h    int
+	samples map[int][]float64 // cell → sorted sample times
+}
+
+// NewLog creates an empty coverage log.
+func NewLog(w, h int) (*Log, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("coverage: grid must be positive")
+	}
+	return &Log{w: w, h: h, samples: make(map[int][]float64)}, nil
+}
+
+// Record logs a sample of cell loc at time t (seconds). Out-of-range
+// locations are rejected.
+func (l *Log) Record(loc int, t float64) error {
+	if loc < 0 || loc >= l.w*l.h {
+		return errors.New("coverage: location out of range")
+	}
+	ts := l.samples[loc]
+	if n := len(ts); n > 0 && t < ts[n-1] {
+		// Keep sorted on out-of-order input.
+		i := sort.SearchFloat64s(ts, t)
+		ts = append(ts, 0)
+		copy(ts[i+1:], ts[i:])
+		ts[i] = t
+	} else {
+		ts = append(ts, t)
+	}
+	l.samples[loc] = ts
+	return nil
+}
+
+// Cells returns how many distinct cells have at least one sample.
+func (l *Log) Cells() int { return len(l.samples) }
+
+// Spatial returns the fraction of grid cells lying within Chebyshev
+// distance radius of some sampled cell — the spatial coverage metric. A
+// radius of 0 counts only directly sampled cells.
+func (l *Log) Spatial(radius int) float64 {
+	if radius < 0 {
+		radius = 0
+	}
+	n := l.w * l.h
+	if n == 0 {
+		return 0
+	}
+	covered := make([]bool, n)
+	for loc := range l.samples {
+		r0, c0 := loc%l.h, loc/l.h
+		for dc := -radius; dc <= radius; dc++ {
+			for dr := -radius; dr <= radius; dr++ {
+				r, c := r0+dr, c0+dc
+				if r < 0 || r >= l.h || c < 0 || c >= l.w {
+					continue
+				}
+				covered[c*l.h+r] = true
+			}
+		}
+	}
+	cnt := 0
+	for _, v := range covered {
+		if v {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(n)
+}
+
+// Temporal returns the fraction of *sampled* cells whose maximum
+// inter-sample gap over the horizon [0, horizon] stays within deadline —
+// the temporal coverage metric (gaps at the start and end of the horizon
+// count).
+func (l *Log) Temporal(deadline, horizon float64) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, ts := range l.samples {
+		maxGap := ts[0] - 0
+		for i := 1; i < len(ts); i++ {
+			if g := ts[i] - ts[i-1]; g > maxGap {
+				maxGap = g
+			}
+		}
+		if g := horizon - ts[len(ts)-1]; g > maxGap {
+			maxGap = g
+		}
+		if maxGap <= deadline {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(l.samples))
+}
+
+// MaxStaleness returns, for a given wall time, the largest age of the most
+// recent sample across all sampled cells (how stale the freshest map could
+// be), or horizonless -1 when nothing was sampled.
+func (l *Log) MaxStaleness(now float64) float64 {
+	if len(l.samples) == 0 {
+		return -1
+	}
+	worst := 0.0
+	for _, ts := range l.samples {
+		if age := now - ts[len(ts)-1]; age > worst {
+			worst = age
+		}
+	}
+	return worst
+}

@@ -1,0 +1,142 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLogValidation(t *testing.T) {
+	if _, err := NewLog(0, 4); err == nil {
+		t.Fatal("want grid error")
+	}
+}
+
+func TestRecordAndCells(t *testing.T) {
+	l, _ := NewLog(4, 4)
+	if err := l.Record(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Cells() != 2 {
+		t.Fatalf("cells %d", l.Cells())
+	}
+	if err := l.Record(99, 0); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestSpatialRadiusZero(t *testing.T) {
+	l, _ := NewLog(4, 4)
+	l.Record(0, 1)
+	l.Record(5, 1)
+	if got := l.Spatial(0); got != 2.0/16 {
+		t.Fatalf("spatial(0)=%v", got)
+	}
+	// Negative radius behaves like zero.
+	if got := l.Spatial(-3); got != 2.0/16 {
+		t.Fatalf("spatial(-3)=%v", got)
+	}
+}
+
+func TestSpatialRadiusGrows(t *testing.T) {
+	l, _ := NewLog(8, 8)
+	// Single sample in the center: radius 1 covers a 3×3 block.
+	l.Record(8*4+4, 1) // col 4, row 4
+	if got := l.Spatial(1); got != 9.0/64 {
+		t.Fatalf("spatial(1)=%v, want 9/64", got)
+	}
+	if got := l.Spatial(10); got != 1 {
+		t.Fatalf("spatial(huge)=%v, want full coverage", got)
+	}
+}
+
+func TestSpatialCornerClipping(t *testing.T) {
+	l, _ := NewLog(8, 8)
+	l.Record(0, 1) // corner: radius 1 covers 2×2
+	if got := l.Spatial(1); got != 4.0/64 {
+		t.Fatalf("corner spatial(1)=%v, want 4/64", got)
+	}
+}
+
+func TestTemporal(t *testing.T) {
+	l, _ := NewLog(2, 2)
+	// Cell 0: regular samples every 10 s over [0,60].
+	for _, tt := range []float64{5, 15, 25, 35, 45, 55} {
+		l.Record(0, tt)
+	}
+	// Cell 1: one sample at t=5, then silence.
+	l.Record(1, 5)
+	// Deadline 12: cell 0 fine (max gap 10 incl. edges), cell 1 fails
+	// (gap 55 at the end).
+	if got := l.Temporal(12, 60); got != 0.5 {
+		t.Fatalf("temporal=%v, want 0.5", got)
+	}
+	if got := l.Temporal(60, 60); got != 1 {
+		t.Fatalf("temporal loose=%v, want 1", got)
+	}
+	empty, _ := NewLog(2, 2)
+	if empty.Temporal(10, 60) != 0 {
+		t.Fatal("empty temporal should be 0")
+	}
+}
+
+func TestTemporalOutOfOrderRecording(t *testing.T) {
+	l, _ := NewLog(1, 1)
+	l.Record(0, 30)
+	l.Record(0, 10) // out of order
+	l.Record(0, 20)
+	// Sorted gaps: 10,10,10 edges 10 and 30: max gap 30 (60-30).
+	if got := l.Temporal(29, 60); got != 0 {
+		t.Fatalf("temporal=%v, want 0 (trailing gap 30)", got)
+	}
+	if got := l.Temporal(30, 60); got != 1 {
+		t.Fatalf("temporal=%v, want 1", got)
+	}
+}
+
+func TestMaxStaleness(t *testing.T) {
+	l, _ := NewLog(2, 1)
+	if l.MaxStaleness(10) != -1 {
+		t.Fatal("empty staleness should be -1")
+	}
+	l.Record(0, 8)
+	l.Record(1, 2)
+	if got := l.MaxStaleness(10); got != 8 {
+		t.Fatalf("staleness %v, want 8", got)
+	}
+}
+
+// Property: spatial coverage is monotone in radius and bounded in [0,1].
+func TestPropSpatialMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(8), 1+rng.Intn(8)
+		l, err := NewLog(w, h)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			if err := l.Record(rng.Intn(w*h), rng.Float64()*100); err != nil {
+				return false
+			}
+		}
+		prev := -1.0
+		for r := 0; r <= 4; r++ {
+			c := l.Spatial(r)
+			if c < 0 || c > 1 || c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package cs
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Interpolator is the Υ: R^M → R^N operator of the Fig. 6 algorithm: it
+// lifts a residual known only at the M sensor locations to a full-length
+// field estimate. Implementations live in internal/field (nearest
+// neighbour, inverse-distance weighting); ZeroFill is the basis-agnostic
+// default.
+type Interpolator func(locs []int, vals []float64) ([]float64, error)
+
+// ZeroFill returns an Interpolator that places the residual values at
+// their locations and zeros elsewhere. For an orthonormal Φ this makes the
+// coefficient scan α_r = Φᵀ e exactly the correlation used by matching
+// pursuit, so it is a safe default when no geometry is known.
+func ZeroFill(n int) Interpolator {
+	return func(locs []int, vals []float64) ([]float64, error) {
+		if len(locs) != len(vals) {
+			return nil, errors.New("cs: locs/vals length mismatch")
+		}
+		out := make([]float64, n)
+		for i, k := range locs {
+			if k < 0 || k >= n {
+				return nil, ErrBadSupport
+			}
+			out[k] = vals[i]
+		}
+		return out, nil
+	}
+}
+
+// CHSOptions configures the Compressive Heterogeneous Sensing algorithm.
+type CHSOptions struct {
+	// MaxIter bounds the outer while loop (default 32).
+	MaxIter int
+	// PerIter is how many new coefficient indices are admitted to J per
+	// iteration — step (c)'s "subset of coefficient indices" (default 1).
+	PerIter int
+	// Tol stops iteration when the sensor-residual norm falls below it.
+	Tol float64
+	// MaxSupport caps |J| (default: number of measurements).
+	MaxSupport int
+	// V is the sensor-noise covariance; when non-nil the coefficients are
+	// solved with GLS (Fig. 6 step e-ii) instead of OLS (step e-i).
+	V *mat.Matrix
+	// Interp is the Υ operator (default ZeroFill).
+	Interp Interpolator
+}
+
+// CHS runs the paper's Fig. 6 "Compressive Heterogeneous Sensing"
+// algorithm: starting from an empty support it repeatedly (a) interpolates
+// the sensor residual to the full grid with Υ, (b) analyzes it in the
+// basis, (c–d) admits the most significant coefficients to the index set J,
+// (e) re-solves the coefficients on J with OLS or GLS, and (f) updates the
+// residual, until the stop criterion is met. It returns the reconstruction
+// x̂ = Φ_K α_K along with the recovered support.
+func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	if len(y) != a.Rows {
+		return nil, errors.New("cs: measurement/location length mismatch")
+	}
+	n := phi.Cols
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 32
+	}
+	if opts.PerIter <= 0 {
+		opts.PerIter = 1
+	}
+	if opts.MaxSupport <= 0 || opts.MaxSupport > len(locs) {
+		opts.MaxSupport = len(locs)
+	}
+	if opts.Interp == nil {
+		opts.Interp = ZeroFill(n)
+	}
+
+	// Step 1: J = ∅, e_r = x_S.
+	resid := mat.CloneVec(y)
+	support := make([]int, 0, opts.MaxSupport)
+	inSupport := make([]bool, n)
+	var coef []float64
+	iters := 0
+
+	for iters < opts.MaxIter && len(support) < opts.MaxSupport {
+		if mat.Norm2(resid) <= opts.Tol {
+			break
+		}
+		iters++
+		// (a) e_new = Υ(e_r).
+		eNew, err := opts.Interp(locs, resid)
+		if err != nil {
+			return nil, err
+		}
+		// (b) α_r = Φ† e_new; Φ orthonormal ⇒ Φ† = Φᵀ.
+		alphaR, err := mat.MulTVec(phi, eNew)
+		if err != nil {
+			return nil, err
+		}
+		// (c–d) admit the PerIter most significant unused coefficients.
+		added := 0
+		for added < opts.PerIter && len(support) < opts.MaxSupport {
+			best, bestJ := 0.0, -1
+			for j := 0; j < n; j++ {
+				if inSupport[j] {
+					continue
+				}
+				if c := math.Abs(alphaR[j]); c > best {
+					best, bestJ = c, j
+				}
+			}
+			if bestJ < 0 || best == 0 {
+				break
+			}
+			support = append(support, bestJ)
+			inSupport[bestJ] = true
+			added++
+		}
+		if added == 0 {
+			break // nothing significant left to admit
+		}
+		// (e) OLS on the growing support. Support identification always
+		// uses the unweighted fit: a GLS fit inside the loop leaves large
+		// residual at the noisy sensors it deliberately under-weights, and
+		// the step-(b) scan would then admit atoms that chase that noise.
+		// The GLS weighting of Fig. 6 step (e-ii) is applied once, on the
+		// final support, below.
+		sub, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		coef, err = mat.LeastSquares(sub, y)
+		if err != nil {
+			// Rank-deficient support growth: retract the additions and stop.
+			support = support[:len(support)-added]
+			for j := range inSupport {
+				inSupport[j] = false
+			}
+			for _, j := range support {
+				inSupport[j] = true
+			}
+			break
+		}
+		// (f) e_r = x_S − Φ̃_K α_K.
+		pred, err := mat.MulVec(sub, coef)
+		if err != nil {
+			return nil, err
+		}
+		resid = mat.SubVec(y, pred)
+	}
+
+	if len(support) == 0 {
+		return &Result{
+			Alpha: make([]float64, n), Support: nil,
+			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
+		}, nil
+	}
+	if coef == nil {
+		// Support was built but the final solve was retracted; re-solve.
+		sub, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		coef, err = mat.LeastSquares(sub, y)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fig. 6 step (e-ii): for heterogeneous sensors, refit the recovered
+	// support with the noise-covariance-weighted GLS estimate.
+	if opts.V != nil {
+		sub, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		if gcoef, err := mat.WeightedLeastSquares(sub, y, opts.V); err == nil {
+			coef = gcoef
+		}
+	}
+	return packResult(phi, support, coef, y, a, iters)
+}

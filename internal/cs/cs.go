@@ -1,0 +1,424 @@
+// Package cs implements the compressive-sensing core of SenseDroid (paper
+// §4): recovery of a length-N signal x = Φα that is K-sparse in an
+// orthonormal basis Φ from M ≪ N point measurements x_S = x(L) taken at
+// sensor locations L, possibly corrupted by heterogeneous sensor noise.
+//
+// Decoders provided:
+//   - OMP: orthogonal matching pursuit for Eq. (13), the workhorse.
+//   - BasisPursuit: L1 minimization (Eq. 9) via the LP reformulation
+//     (Eq. 10), solved with the internal simplex solver.
+//   - FixedSupportOLS / FixedSupportGLS: the closed-form least-squares
+//     estimates of Eqs. (11) and (12) when the support J is known.
+//   - CHS (chs.go): the iterative Compressive Heterogeneous Sensing
+//     algorithm of Fig. 6 with a pluggable interpolation operator Υ.
+package cs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// Decoder failure modes.
+var (
+	ErrNoMeasurements = errors.New("cs: no measurements")
+	ErrBadSupport     = errors.New("cs: invalid support index")
+)
+
+// Result is the outcome of a sparse recovery.
+type Result struct {
+	Alpha      []float64 // recovered coefficients, length N (zero off support)
+	Support    []int     // indices of the recovered nonzero coefficients, J
+	Xhat       []float64 // reconstructed signal Φ·Alpha, length N
+	Residual   float64   // ‖x_S − Φ̃_K α_K‖₂ at the sensor locations
+	Iterations int
+}
+
+// sensingMatrix returns Φ̃ = Φ(L, :), the M×N matrix of basis rows at the
+// sensor locations (paper Eq. 7 before column selection).
+func sensingMatrix(phi *mat.Matrix, locs []int) (*mat.Matrix, error) {
+	if len(locs) == 0 {
+		return nil, ErrNoMeasurements
+	}
+	return mat.SelectRows(phi, locs)
+}
+
+// reconstruct synthesizes Xhat = Φ·α restricted to the support.
+func reconstruct(phi *mat.Matrix, support []int, coef []float64) ([]float64, error) {
+	xhat := make([]float64, phi.Rows)
+	for s, j := range support {
+		cj := coef[s]
+		if cj == 0 {
+			continue
+		}
+		for i := 0; i < phi.Rows; i++ {
+			xhat[i] += phi.Data[i*phi.Cols+j] * cj
+		}
+	}
+	return xhat, nil
+}
+
+func packResult(phi *mat.Matrix, support []int, coef []float64, y []float64, a *mat.Matrix, iters int) (*Result, error) {
+	n := phi.Cols
+	alpha := make([]float64, n)
+	for s, j := range support {
+		alpha[j] = coef[s]
+	}
+	xhat, err := reconstruct(phi, support, coef)
+	if err != nil {
+		return nil, err
+	}
+	// Residual at sensors.
+	res := 0.0
+	for i := 0; i < a.Rows; i++ {
+		pred := 0.0
+		for s, j := range support {
+			pred += a.Data[i*a.Cols+j] * coef[s]
+		}
+		d := y[i] - pred
+		res += d * d
+	}
+	return &Result{
+		Alpha: alpha, Support: support, Xhat: xhat,
+		Residual: math.Sqrt(res), Iterations: iters,
+	}, nil
+}
+
+// OMP recovers a K-sparse coefficient vector from measurements y taken at
+// locations locs, using orthogonal matching pursuit (Tropp & Gilbert; the
+// solver the paper names for Eq. 13). It stops after k atoms or when the
+// residual norm drops below tol.
+func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
+	}
+	if k <= 0 {
+		return nil, errors.New("cs: sparsity k must be positive")
+	}
+	if k > m {
+		k = m // cannot identify more atoms than measurements
+	}
+	// Column norms for normalized correlation.
+	colNorm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			v := a.Data[i*n+j]
+			s += v * v
+		}
+		colNorm[j] = math.Sqrt(s)
+	}
+	resid := mat.CloneVec(y)
+	support := make([]int, 0, k)
+	inSupport := make([]bool, n)
+	var coef []float64
+	iters := 0
+	for len(support) < k {
+		iters++
+		// Correlate residual with each column.
+		best, bestJ := 0.0, -1
+		for j := 0; j < n; j++ {
+			if inSupport[j] || colNorm[j] == 0 {
+				continue
+			}
+			dot := 0.0
+			for i := 0; i < m; i++ {
+				dot += a.Data[i*n+j] * resid[i]
+			}
+			if c := math.Abs(dot) / colNorm[j]; c > best {
+				best, bestJ = c, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		support = append(support, bestJ)
+		inSupport[bestJ] = true
+		// Least squares on the current support.
+		sub, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		coef, err = mat.LeastSquares(sub, y)
+		if err != nil {
+			// Newly added column made the subproblem rank deficient; drop it
+			// and stop growing the support.
+			support = support[:len(support)-1]
+			if len(support) == 0 {
+				return nil, err
+			}
+			sub, _ = mat.SelectCols(a, support)
+			coef, err = mat.LeastSquares(sub, y)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		// Residual update.
+		pred, err := mat.MulVec(sub, coef)
+		if err != nil {
+			return nil, err
+		}
+		resid = mat.SubVec(y, pred)
+		if mat.Norm2(resid) <= tol {
+			break
+		}
+	}
+	if len(support) == 0 {
+		// Zero signal.
+		return &Result{
+			Alpha: make([]float64, n), Support: nil,
+			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
+		}, nil
+	}
+	return packResult(phi, support, coef, y, a, iters)
+}
+
+// OMPCentered recovers a signal whose prior mean mu (length N) is known —
+// the right decoder for a PCA basis learned from historical traces, whose
+// columns span the variation *around* the mean: the measurements are
+// mean-centered before decoding and the mean is added back to Xhat.
+// Alpha/Support/Residual describe the centered component.
+func OMPCentered(phi *mat.Matrix, locs []int, y []float64, mu []float64, k int, tol float64) (*Result, error) {
+	if len(mu) != phi.Rows {
+		return nil, fmt.Errorf("cs: mean length %d, want %d", len(mu), phi.Rows)
+	}
+	yc := make([]float64, len(y))
+	for i, l := range locs {
+		if l < 0 || l >= len(mu) {
+			return nil, fmt.Errorf("cs: location %d out of range [0,%d)", l, len(mu))
+		}
+		yc[i] = y[i] - mu[l]
+	}
+	res, err := OMP(phi, locs, yc, k, tol)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Xhat {
+		res.Xhat[i] += mu[i]
+	}
+	return res, nil
+}
+
+// BasisPursuit recovers the minimum-L1 coefficient vector subject to the
+// measurement constraint (paper Eq. 9), via the slack-variable LP of
+// Eq. 10 expressed in standard form with the split α = u − v, u,v ≥ 0:
+//
+//	min Σu + Σv   s.t.  Φ̃(u − v) = x_S.
+//
+// Exact equality constraints make this appropriate for (near-)noiseless
+// measurements; use OMP or CHS when noise is significant. zeroTol trims
+// solver jitter from the returned support.
+func BasisPursuit(phi *mat.Matrix, locs []int, y []float64, zeroTol float64) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
+	}
+	prob := lp.Problem{
+		Rows: m, Cols: 2 * n,
+		A: make([]float64, m*2*n),
+		B: mat.CloneVec(y),
+		C: make([]float64, 2*n),
+	}
+	for j := 0; j < 2*n; j++ {
+		prob.C[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			prob.A[i*2*n+j] = a.Data[i*n+j]
+			prob.A[i*2*n+n+j] = -a.Data[i*n+j]
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("cs: basis pursuit LP failed: %w", err)
+	}
+	support := make([]int, 0)
+	coef := make([]float64, 0)
+	for j := 0; j < n; j++ {
+		v := sol.X[j] - sol.X[n+j]
+		if math.Abs(v) > zeroTol {
+			support = append(support, j)
+			coef = append(coef, v)
+		}
+	}
+	return packResult(phi, support, coef, y, a, sol.Iterations)
+}
+
+// FixedSupportOLS solves for the coefficients on a known support J with
+// ordinary least squares — the paper's Eq. (11), appropriate for
+// homogeneous sensors. Requires len(locs) ≥ len(support).
+func FixedSupportOLS(phi *mat.Matrix, locs []int, y []float64, support []int) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSupport(support, phi.Cols); err != nil {
+		return nil, err
+	}
+	sub, err := mat.SelectCols(a, support)
+	if err != nil {
+		return nil, err
+	}
+	coef, err := mat.LeastSquares(sub, y)
+	if err != nil {
+		return nil, err
+	}
+	return packResult(phi, support, coef, y, a, 1)
+}
+
+// FixedSupportGLS solves for the coefficients on a known support with
+// generalized least squares under sensor-noise covariance V — the paper's
+// Eq. (12), for heterogeneous sensors. V is M×M (ordered like locs).
+func FixedSupportGLS(phi *mat.Matrix, locs []int, y []float64, support []int, v *mat.Matrix) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSupport(support, phi.Cols); err != nil {
+		return nil, err
+	}
+	sub, err := mat.SelectCols(a, support)
+	if err != nil {
+		return nil, err
+	}
+	coef, err := mat.WeightedLeastSquares(sub, y, v)
+	if err != nil {
+		return nil, err
+	}
+	return packResult(phi, support, coef, y, a, 1)
+}
+
+func checkSupport(support []int, n int) error {
+	seen := make(map[int]bool, len(support))
+	for _, j := range support {
+		if j < 0 || j >= n {
+			return fmt.Errorf("%w: %d not in [0,%d)", ErrBadSupport, j, n)
+		}
+		if seen[j] {
+			return fmt.Errorf("%w: duplicate index %d", ErrBadSupport, j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// LowFrequencySupport returns the support {0, 1, …, k−1}: the K lowest
+// modes of a frequency-ordered basis such as DCT. It encodes the smooth
+// field prior used when no coefficient ordering has been learned.
+func LowFrequencySupport(k int) []int {
+	s := make([]int, k)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// RandomLocations draws m distinct sensor locations uniformly from
+// {0,…,n−1} — the broker's "stochastic (random) spatial sampling".
+func RandomLocations(rng *rand.Rand, n, m int) ([]int, error) {
+	if m > n {
+		return nil, fmt.Errorf("cs: cannot draw %d distinct locations from %d", m, n)
+	}
+	if m < 0 {
+		return nil, errors.New("cs: negative measurement count")
+	}
+	return rng.Perm(n)[:m], nil
+}
+
+// Measure samples the signal x at the given locations and adds Gaussian
+// noise with per-measurement standard deviations sigmas (nil for
+// noiseless; a single-element slice broadcasts).
+func Measure(x []float64, locs []int, rng *rand.Rand, sigmas []float64) ([]float64, error) {
+	y := make([]float64, len(locs))
+	for i, k := range locs {
+		if k < 0 || k >= len(x) {
+			return nil, fmt.Errorf("cs: location %d out of range [0,%d)", k, len(x))
+		}
+		y[i] = x[k]
+		if len(sigmas) > 0 {
+			s := sigmas[0]
+			if len(sigmas) > 1 {
+				s = sigmas[i]
+			}
+			if s > 0 {
+				y[i] += rng.NormFloat64() * s
+			}
+		}
+	}
+	return y, nil
+}
+
+// NoiseCovariance builds the diagonal sensor-noise covariance V from
+// per-measurement standard deviations. Zero sigmas are floored at
+// minSigma to keep V positive definite.
+func NoiseCovariance(sigmas []float64, minSigma float64) *mat.Matrix {
+	d := make([]float64, len(sigmas))
+	for i, s := range sigmas {
+		if s < minSigma {
+			s = minSigma
+		}
+		d[i] = s * s
+	}
+	return mat.Diag(d)
+}
+
+// ChooseKCrossVal picks the sparsity K that minimizes held-out measurement
+// error: it splits the measurements into a training and validation set,
+// runs OMP at each K in [1, kMax], and returns the K whose reconstruction
+// best predicts the held-out sensors. This automates the paper's "pick an
+// optimal K such that the total error ε is minimal" guidance without
+// needing ground truth.
+func ChooseKCrossVal(phi *mat.Matrix, locs []int, y []float64, kMax int, holdout float64, rng *rand.Rand) (int, error) {
+	m := len(locs)
+	if m < 4 {
+		return 0, errors.New("cs: too few measurements for cross-validation")
+	}
+	nVal := int(math.Round(float64(m) * holdout))
+	if nVal < 1 {
+		nVal = 1
+	}
+	if nVal > m-2 {
+		nVal = m - 2
+	}
+	perm := rng.Perm(m)
+	valIdx, trainIdx := perm[:nVal], perm[nVal:]
+	trLocs := make([]int, len(trainIdx))
+	trY := make([]float64, len(trainIdx))
+	for i, p := range trainIdx {
+		trLocs[i], trY[i] = locs[p], y[p]
+	}
+	bestK, bestErr := 1, math.Inf(1)
+	if kMax > len(trLocs) {
+		kMax = len(trLocs)
+	}
+	for k := 1; k <= kMax; k++ {
+		res, err := OMP(phi, trLocs, trY, k, 0)
+		if err != nil {
+			continue
+		}
+		// Validation error at held-out sensors.
+		e := 0.0
+		for _, p := range valIdx {
+			d := y[p] - res.Xhat[locs[p]]
+			e += d * d
+		}
+		if e < bestErr {
+			bestErr, bestK = e, k
+		}
+	}
+	return bestK, nil
+}

@@ -1,0 +1,610 @@
+package cs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/basis"
+	"repro/internal/mat"
+)
+
+// sparseSignal builds an exactly k-sparse signal in the given basis and
+// returns the signal, coefficients, and support.
+func sparseSignal(rng *rand.Rand, phi *mat.Matrix, k int) ([]float64, []float64, []int) {
+	n := phi.Cols
+	alpha := make([]float64, n)
+	support := rng.Perm(n)[:k]
+	for _, j := range support {
+		v := 1 + rng.Float64()*2
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		alpha[j] = v
+	}
+	x, _ := basis.Synthesize(phi, alpha)
+	return x, alpha, support
+}
+
+func TestOMPExactRecoveryNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	phi := basis.DCT(64)
+	x, alpha, _ := sparseSignal(rng, phi, 4)
+	locs, err := RandomLocations(rng, 64, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Measure(x, locs, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OMP(phi, locs, y, 4, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 1e-18 {
+		t.Fatalf("NMSE %v, want ~0", nm)
+	}
+	if d := mat.Norm2(mat.SubVec(alpha, res.Alpha)); d > 1e-8 {
+		t.Fatalf("coefficient error %v", d)
+	}
+	if len(res.Support) != 4 {
+		t.Fatalf("support size %d", len(res.Support))
+	}
+}
+
+func TestOMPNoisyRecoveryDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	phi := basis.DCT(128)
+	x, _, _ := sparseSignal(rng, phi, 5)
+	locs, _ := RandomLocations(rng, 128, 50)
+	y, _ := Measure(x, locs, rng, []float64{0.02})
+	res, err := OMP(phi, locs, y, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 0.02 {
+		t.Fatalf("noisy NMSE %v too large", nm)
+	}
+}
+
+func TestOMPErrorsAndEdgeCases(t *testing.T) {
+	phi := basis.DCT(16)
+	if _, err := OMP(phi, nil, nil, 3, 0); err != ErrNoMeasurements {
+		t.Fatalf("err=%v, want ErrNoMeasurements", err)
+	}
+	if _, err := OMP(phi, []int{1, 2}, []float64{1}, 3, 0); err == nil {
+		t.Fatal("want measurement length error")
+	}
+	if _, err := OMP(phi, []int{1, 2}, []float64{1, 2}, 0, 0); err == nil {
+		t.Fatal("want sparsity error")
+	}
+	// Zero measurements → zero reconstruction.
+	res, err := OMP(phi, []int{1, 2, 3}, []float64{0, 0, 0}, 2, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Norm2(res.Xhat) != 0 {
+		t.Fatalf("zero input should give zero reconstruction, got %v", res.Xhat)
+	}
+}
+
+func TestOMPSupportCappedByMeasurements(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	phi := basis.DCT(32)
+	x, _, _ := sparseSignal(rng, phi, 8)
+	locs, _ := RandomLocations(rng, 32, 6)
+	y, _ := Measure(x, locs, rng, nil)
+	res, err := OMP(phi, locs, y, 20, 0) // ask for more atoms than measurements
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Support) > 6 {
+		t.Fatalf("support %d exceeds measurement count", len(res.Support))
+	}
+}
+
+func TestBasisPursuitExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	phi := basis.DCT(32)
+	x, alpha, _ := sparseSignal(rng, phi, 3)
+	locs, _ := RandomLocations(rng, 32, 14)
+	y, _ := Measure(x, locs, rng, nil)
+	res, err := BasisPursuit(phi, locs, y, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Norm2(mat.SubVec(alpha, res.Alpha)); d > 1e-5 {
+		t.Fatalf("BP coefficient error %v", d)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 1e-10 {
+		t.Fatalf("BP NMSE %v", nm)
+	}
+}
+
+func TestBasisPursuitMatchesOMPOnEasyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	phi := basis.DCT(24)
+	x, _, _ := sparseSignal(rng, phi, 2)
+	locs, _ := RandomLocations(rng, 24, 10)
+	y, _ := Measure(x, locs, rng, nil)
+	bp, err := BasisPursuit(phi, locs, y, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := OMP(phi, locs, y, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Norm2(mat.SubVec(bp.Xhat, omp.Xhat)); d > 1e-5 {
+		t.Fatalf("BP and OMP disagree by %v", d)
+	}
+}
+
+func TestFixedSupportOLSExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	phi := basis.DCT(48)
+	x, alpha, support := sparseSignal(rng, phi, 5)
+	locs, _ := RandomLocations(rng, 48, 15)
+	y, _ := Measure(x, locs, rng, nil)
+	res, err := FixedSupportOLS(phi, locs, y, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Norm2(mat.SubVec(alpha, res.Alpha)); d > 1e-8 {
+		t.Fatalf("OLS coefficient error %v", d)
+	}
+}
+
+func TestFixedSupportBadSupport(t *testing.T) {
+	phi := basis.DCT(8)
+	locs := []int{0, 1, 2, 3}
+	y := []float64{1, 2, 3, 4}
+	if _, err := FixedSupportOLS(phi, locs, y, []int{9}); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := FixedSupportOLS(phi, locs, y, []int{1, 1}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}
+
+func TestGLSBeatsOLSUnderHeterogeneousNoise(t *testing.T) {
+	// Average over trials: GLS should beat OLS when half the sensors are
+	// an order of magnitude noisier and V reflects that.
+	rng := rand.New(rand.NewSource(7))
+	phi := basis.DCT(64)
+	wins, trials := 0, 20
+	for trial := 0; trial < trials; trial++ {
+		x, _, support := sparseSignal(rng, phi, 4)
+		locs, _ := RandomLocations(rng, 64, 24)
+		sigmas := make([]float64, 24)
+		for i := range sigmas {
+			if i%2 == 0 {
+				sigmas[i] = 0.01
+			} else {
+				sigmas[i] = 1.0
+			}
+		}
+		y, _ := Measure(x, locs, rng, sigmas)
+		v := NoiseCovariance(sigmas, 1e-6)
+		gls, err := FixedSupportGLS(phi, locs, y, support, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ols, err := FixedSupportOLS(phi, locs, y, support)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if NMSE(x, gls.Xhat) < NMSE(x, ols.Xhat) {
+			wins++
+		}
+	}
+	if wins < trials*3/4 {
+		t.Fatalf("GLS beat OLS in only %d/%d trials", wins, trials)
+	}
+}
+
+func TestCHSRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	phi := basis.DCT(64)
+	x, _, _ := sparseSignal(rng, phi, 4)
+	locs, _ := RandomLocations(rng, 64, 24)
+	y, _ := Measure(x, locs, rng, nil)
+	res, err := CHS(phi, locs, y, CHSOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 1e-12 {
+		t.Fatalf("CHS NMSE %v", nm)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("CHS reported zero iterations")
+	}
+}
+
+func TestCHSWithGLSUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	phi := basis.DCT(64)
+	x, _, _ := sparseSignal(rng, phi, 4)
+	locs, _ := RandomLocations(rng, 64, 28)
+	sigmas := make([]float64, 28)
+	for i := range sigmas {
+		sigmas[i] = 0.02 + 0.3*float64(i%2)
+	}
+	y, _ := Measure(x, locs, rng, sigmas)
+	res, err := CHS(phi, locs, y, CHSOptions{
+		Tol: 1e-6, MaxSupport: 4, V: NoiseCovariance(sigmas, 1e-6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 0.05 {
+		t.Fatalf("CHS-GLS NMSE %v", nm)
+	}
+}
+
+func TestCHSPerIterBatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	phi := basis.DCT(64)
+	x, _, _ := sparseSignal(rng, phi, 6)
+	locs, _ := RandomLocations(rng, 64, 30)
+	y, _ := Measure(x, locs, rng, nil)
+	res, err := CHS(phi, locs, y, CHSOptions{PerIter: 3, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := NMSE(x, res.Xhat); nm > 1e-10 {
+		t.Fatalf("batched CHS NMSE %v", nm)
+	}
+	// Batched admission must need fewer outer iterations than atoms.
+	if res.Iterations > 6 {
+		t.Fatalf("batched CHS used %d iterations for 6 atoms", res.Iterations)
+	}
+}
+
+func TestCHSZeroSignal(t *testing.T) {
+	phi := basis.DCT(16)
+	res, err := CHS(phi, []int{0, 5, 9}, []float64{0, 0, 0}, CHSOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Norm2(res.Xhat) != 0 {
+		t.Fatal("zero measurements should give zero field")
+	}
+}
+
+func TestZeroFillInterpolator(t *testing.T) {
+	interp := ZeroFill(8)
+	out, err := interp([]int{1, 5}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 0, 0, 0, 3, 0, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("ZeroFill got %v", out)
+		}
+	}
+	if _, err := interp([]int{9}, []float64{1}); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := interp([]int{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestRandomLocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	locs, err := RandomLocations(rng, 100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, l := range locs {
+		if l < 0 || l >= 100 {
+			t.Fatalf("location %d out of range", l)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate location %d", l)
+		}
+		seen[l] = true
+	}
+	if _, err := RandomLocations(rng, 5, 6); err == nil {
+		t.Fatal("want m>n error")
+	}
+	if _, err := RandomLocations(rng, 5, -1); err == nil {
+		t.Fatal("want negative error")
+	}
+}
+
+func TestMeasureBroadcastAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := []float64{1, 2, 3, 4}
+	y, err := Measure(x, []int{0, 3}, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 1 || y[1] != 4 {
+		t.Fatalf("noiseless measure got %v", y)
+	}
+	if _, err := Measure(x, []int{5}, rng, nil); err == nil {
+		t.Fatal("want range error")
+	}
+	// Broadcast sigma actually perturbs.
+	y2, _ := Measure(x, []int{0, 1, 2, 3}, rng, []float64{0.5})
+	if mat.Norm2(mat.SubVec(y2, x)) == 0 {
+		t.Fatal("broadcast noise had no effect")
+	}
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	x := []float64{3, 4}
+	if v := NMSE(x, x); v != 0 {
+		t.Fatalf("NMSE(x,x)=%v", v)
+	}
+	zero := []float64{0, 0}
+	if v := NMSE(x, zero); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMSE vs zero = %v, want 1", v)
+	}
+	if v := RMSE(x, zero); math.Abs(v-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE=%v", v)
+	}
+	if v := Accuracy(x, x); v != 1 {
+		t.Fatalf("Accuracy(x,x)=%v", v)
+	}
+	if v := Accuracy(x, []float64{-3, -4}); v != 0 {
+		t.Fatalf("Accuracy of anti-signal = %v, want clamp 0", v)
+	}
+	if !math.IsInf(SNRdB(x, x), 1) {
+		t.Fatal("SNR of perfect reconstruction should be +Inf")
+	}
+	if v := SNRdB(x, zero); math.Abs(v-0) > 1e-9 {
+		t.Fatalf("SNR vs zero = %v dB, want 0", v)
+	}
+	if !math.IsInf(PSNRdB(x, x, 4), 1) {
+		t.Fatal("PSNR of perfect reconstruction should be +Inf")
+	}
+	if math.IsNaN(NMSE(x, x)) || !math.IsNaN(NMSE(x, []float64{1})) {
+		t.Fatal("NMSE NaN handling wrong")
+	}
+	if v := NMSE(zero, zero); v != 0 {
+		t.Fatalf("NMSE(0,0)=%v", v)
+	}
+	if !math.IsInf(NMSE(zero, x), 1) {
+		t.Fatal("NMSE(0,x)!=Inf")
+	}
+}
+
+func TestCompressionRatioAndTheoreticalM(t *testing.T) {
+	if CompressionRatio(256, 32) != 8 {
+		t.Fatal("CompressionRatio wrong")
+	}
+	if !math.IsInf(CompressionRatio(10, 0), 1) {
+		t.Fatal("CompressionRatio(_, 0) should be Inf")
+	}
+	m := TheoreticalM(5, 256, 1.5)
+	want := int(math.Ceil(1.5 * 5 * math.Log(256)))
+	if m != want {
+		t.Fatalf("TheoreticalM=%d want %d", m, want)
+	}
+	if TheoreticalM(0, 256, 1) != 0 || TheoreticalM(5, 1, 1) != 0 {
+		t.Fatal("degenerate TheoreticalM should be 0")
+	}
+	if TheoreticalM(1000, 16, 2) != 16 {
+		t.Fatal("TheoreticalM should clamp at n")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	phi := basis.DCT(64)
+	x, _, _ := sparseSignal(rng, phi, 4)
+	locs, _ := RandomLocations(rng, 64, 24)
+	sigmas := []float64{0.01}
+	y, _ := Measure(x, locs, rng, sigmas)
+	res, err := OMP(phi, locs, y, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := Diagnose(phi, x, locs, res, sigmas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.ApproxNMSE > 1e-18 {
+		t.Fatalf("ε_a=%v for exactly-sparse signal, want 0", bd.ApproxNMSE)
+	}
+	if bd.Condition < 1 {
+		t.Fatalf("condition %v < 1", bd.Condition)
+	}
+	if bd.NoiseNMSE <= 0 {
+		t.Fatal("noise NMSE should be positive")
+	}
+	if bd.TotalNMSE < 0 {
+		t.Fatal("total NMSE negative")
+	}
+	if _, err := Diagnose(phi, x, locs, nil, nil); err == nil {
+		t.Fatal("want nil-result error")
+	}
+}
+
+func TestChooseKCrossVal(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	phi := basis.DCT(64)
+	x, _, _ := sparseSignal(rng, phi, 4)
+	locs, _ := RandomLocations(rng, 64, 32)
+	y, _ := Measure(x, locs, rng, []float64{0.01})
+	k, err := ChooseKCrossVal(phi, locs, y, 12, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 3 || k > 7 {
+		t.Fatalf("cross-validated K=%d, want near 4", k)
+	}
+	if _, err := ChooseKCrossVal(phi, locs[:2], y[:2], 4, 0.25, rng); err == nil {
+		t.Fatal("want too-few-measurements error")
+	}
+}
+
+func TestLowFrequencySupport(t *testing.T) {
+	s := LowFrequencySupport(3)
+	if len(s) != 3 || s[0] != 0 || s[2] != 2 {
+		t.Fatalf("LowFrequencySupport=%v", s)
+	}
+}
+
+// Statistical test: exact recovery succeeds in the overwhelming majority of
+// random instances when M = 6K with N=64 (the regime the paper's Fig. 4
+// operates in).
+func TestRecoveryProbability(t *testing.T) {
+	phi := basis.DCT(64)
+	ok := 0
+	const trials = 25
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		x, _, _ := sparseSignal(rng, phi, 4)
+		locs, _ := RandomLocations(rng, 64, 24)
+		y, _ := Measure(x, locs, rng, nil)
+		res, err := OMP(phi, locs, y, 4, 1e-12)
+		if err != nil {
+			continue
+		}
+		if NMSE(x, res.Xhat) < 1e-10 {
+			ok++
+		}
+	}
+	if ok < trials-3 {
+		t.Fatalf("exact recovery in only %d/%d trials", ok, trials)
+	}
+}
+
+// Property: every recovery result has a valid, duplicate-free support of
+// size ≤ min(k, M), and Alpha is zero off-support.
+func TestPropResultInvariants(t *testing.T) {
+	phi := basis.DCT(32)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		m := k + 2 + rng.Intn(10)
+		x, _, _ := sparseSignal(rng, phi, k)
+		locs, err := RandomLocations(rng, 32, m)
+		if err != nil {
+			return false
+		}
+		y, err := Measure(x, locs, rng, []float64{0.05})
+		if err != nil {
+			return false
+		}
+		res, err := OMP(phi, locs, y, k, 0)
+		if err != nil {
+			return false
+		}
+		if len(res.Support) > k || len(res.Support) > m {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, j := range res.Support {
+			if j < 0 || j >= 32 || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		for j, a := range res.Alpha {
+			if a != 0 && !seen[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOMP256M30(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	phi := basis.DCT(256)
+	x, _, _ := sparseSignal(rng, phi, 8)
+	locs, _ := RandomLocations(rng, 256, 30)
+	y, _ := Measure(x, locs, rng, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OMP(phi, locs, y, 8, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBasisPursuit32(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	phi := basis.DCT(32)
+	x, _, _ := sparseSignal(rng, phi, 3)
+	locs, _ := RandomLocations(rng, 32, 14)
+	y, _ := Measure(x, locs, rng, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BasisPursuit(phi, locs, y, 1e-7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCHS256(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	phi := basis.DCT(256)
+	x, _, _ := sparseSignal(rng, phi, 8)
+	locs, _ := RandomLocations(rng, 256, 40)
+	y, _ := Measure(x, locs, rng, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CHS(phi, locs, y, CHSOptions{Tol: 1e-10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMutualCoherence(t *testing.T) {
+	// Full sampling of an orthonormal basis has zero coherence.
+	phi := basis.DCT(16)
+	all := make([]int, 16)
+	for i := range all {
+		all[i] = i
+	}
+	mu, err := MutualCoherence(phi, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu > 1e-10 {
+		t.Fatalf("full-sampling coherence %v, want 0", mu)
+	}
+	// Subsampling raises coherence but keeps it below 1 for distinct cols.
+	rng := rand.New(rand.NewSource(41))
+	locs, _ := RandomLocations(rng, 16, 8)
+	mu, err = MutualCoherence(phi, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu <= 0 || mu > 1+1e-12 {
+		t.Fatalf("subsampled coherence %v outside (0,1]", mu)
+	}
+	if _, err := MutualCoherence(phi, nil); err == nil {
+		t.Fatal("want no-measurements error")
+	}
+}
+
+func TestCoherenceSparsityBound(t *testing.T) {
+	if CoherenceSparsityBound(0) < 1<<20 {
+		t.Fatal("zero coherence should allow huge K")
+	}
+	// µ = 1/3 → K < (1+3)/2 = 2 → bound 1.
+	if got := CoherenceSparsityBound(1.0 / 3); got != 1 {
+		t.Fatalf("bound %d, want 1", got)
+	}
+	// µ = 1 → K < 1 → bound 0.
+	if got := CoherenceSparsityBound(1); got != 0 {
+		t.Fatalf("bound %d, want 0", got)
+	}
+}

@@ -1,0 +1,350 @@
+package cs
+
+// Additional sparse decoders beyond OMP/BP: iterative hard thresholding
+// (IHT) and CoSaMP. The paper names OMP and the L1 program explicitly;
+// these two are the standard greedy alternatives a production middleware
+// would ship so brokers can trade robustness against compute (the A4
+// ablation compares all four).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+)
+
+// IHTOptions tunes iterative hard thresholding.
+type IHTOptions struct {
+	K        int     // target sparsity (required)
+	MaxIter  int     // default 200
+	StepSize float64 // 0 = adaptive normalized-IHT step (recommended)
+	Tol      float64 // stop when residual norm change < Tol (default 1e-9)
+}
+
+// IHT recovers a K-sparse coefficient vector by projected gradient
+// descent: α ← H_K(α + µ·Φ̃ᵀ(y − Φ̃α)), where H_K keeps the K largest
+// magnitudes. Slower to converge than OMP but a single matrix-vector pair
+// per iteration and very robust to coherent dictionaries.
+func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
+	}
+	if opts.K <= 0 {
+		return nil, errors.New("cs: IHT needs positive sparsity K")
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	fixedMu := opts.StepSize
+	alpha := make([]float64, n)
+	prevRes := math.Inf(1)
+	iters := 0
+	for ; iters < opts.MaxIter; iters++ {
+		// r = y − Φ̃α.
+		pred, err := mat.MulVec(a, alpha)
+		if err != nil {
+			return nil, err
+		}
+		r := mat.SubVec(y, pred)
+		rn := mat.Norm2(r)
+		if math.Abs(prevRes-rn) < opts.Tol {
+			break
+		}
+		prevRes = rn
+		g, err := mat.MulTVec(a, r)
+		if err != nil {
+			return nil, err
+		}
+		// Normalized-IHT step (Blumensath & Davies): the exact line-search
+		// step restricted to the working support makes convergence robust
+		// for the coherent point-sampled bases used here. The working
+		// support is the current support, or the top-K gradient entries on
+		// the first iteration.
+		mu := fixedMu
+		if mu <= 0 {
+			workSup := supportOf(alpha)
+			if len(workSup) == 0 {
+				workSup = topKIndices(g, opts.K)
+			}
+			gS := make([]float64, n)
+			for _, j := range workSup {
+				gS[j] = g[j]
+			}
+			agS, err := mat.MulVec(a, gS)
+			if err != nil {
+				return nil, err
+			}
+			num := mat.Dot(gS, gS)
+			den := mat.Dot(agS, agS)
+			if den <= 0 {
+				mu = 1
+			} else {
+				mu = num / den
+			}
+		}
+		for j := range alpha {
+			alpha[j] += mu * g[j]
+		}
+		hardThreshold(alpha, opts.K)
+	}
+	support := supportOf(alpha)
+	// Debias: least squares on the final support.
+	coef := make([]float64, len(support))
+	if len(support) > 0 && len(support) <= m {
+		sub, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		if ls, err := mat.LeastSquares(sub, y); err == nil {
+			coef = ls
+		} else {
+			for i, j := range support {
+				coef[i] = alpha[j]
+			}
+		}
+	} else {
+		for i, j := range support {
+			coef[i] = alpha[j]
+		}
+	}
+	return packResult(phi, support, coef, y, a, iters)
+}
+
+// CoSaMPOptions tunes CoSaMP.
+type CoSaMPOptions struct {
+	K       int // target sparsity (required)
+	MaxIter int // default 50
+	Tol     float64
+}
+
+// CoSaMP (Needell & Tropp) recovers a K-sparse vector by repeatedly
+// merging the 2K strongest residual correlations into the support, solving
+// least squares, and pruning back to K.
+func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Result, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
+	}
+	if opts.K <= 0 {
+		return nil, errors.New("cs: CoSaMP needs positive sparsity K")
+	}
+	if 3*opts.K > m {
+		// The merged LS needs ≤ m columns; clamp like OMP does.
+		opts.K = m / 3
+		if opts.K == 0 {
+			opts.K = 1
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	alpha := make([]float64, n)
+	resid := mat.CloneVec(y)
+	iters := 0
+	prev := math.Inf(1)
+	for ; iters < opts.MaxIter; iters++ {
+		rn := mat.Norm2(resid)
+		if rn <= opts.Tol || math.Abs(prev-rn) < opts.Tol {
+			break
+		}
+		prev = rn
+		// Proxy = Φ̃ᵀ r; take 2K strongest plus current support.
+		proxy, err := mat.MulTVec(a, resid)
+		if err != nil {
+			return nil, err
+		}
+		merged := map[int]bool{}
+		for _, j := range supportOf(alpha) {
+			merged[j] = true
+		}
+		for _, j := range topKIndices(proxy, 2*opts.K) {
+			merged[j] = true
+		}
+		idx := make([]int, 0, len(merged))
+		for j := range merged {
+			idx = append(idx, j)
+		}
+		sortInts(idx)
+		if len(idx) == 0 {
+			break
+		}
+		sub, err := mat.SelectCols(a, idx)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := mat.LeastSquares(sub, y)
+		if err != nil {
+			break // rank-deficient merge; keep the previous estimate
+		}
+		// Prune to K.
+		full := make([]float64, n)
+		for i, j := range idx {
+			full[j] = ls[i]
+		}
+		hardThreshold(full, opts.K)
+		alpha = full
+		// Update residual from the pruned estimate.
+		support := supportOf(alpha)
+		sub2, err := mat.SelectCols(a, support)
+		if err != nil {
+			return nil, err
+		}
+		coef := make([]float64, len(support))
+		for i, j := range support {
+			coef[i] = alpha[j]
+		}
+		pred, err := mat.MulVec(sub2, coef)
+		if err != nil {
+			return nil, err
+		}
+		resid = mat.SubVec(y, pred)
+	}
+	support := supportOf(alpha)
+	coef := make([]float64, len(support))
+	for i, j := range support {
+		coef[i] = alpha[j]
+	}
+	return packResult(phi, support, coef, y, a, iters)
+}
+
+// BPDN solves basis pursuit denoising via the LP relaxation with a noise
+// allowance: minimize ‖α‖₁ subject to |Φ̃α − y|ᵢ ≤ eps for every
+// measurement (an L∞ fidelity box, which keeps the problem a plain LP).
+// Standard form uses α = u − v and slack s: Φ̃(u−v) + s = y + eps,
+// 0 ≤ s ≤ 2·eps, encoded with an extra slack pair.
+func BPDN(phi *mat.Matrix, locs []int, y []float64, eps, zeroTol float64) (*Result, error) {
+	if eps < 0 {
+		return nil, errors.New("cs: BPDN needs eps >= 0")
+	}
+	if eps == 0 {
+		return BasisPursuit(phi, locs, y, zeroTol)
+	}
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return nil, err
+	}
+	m, n := a.Rows, a.Cols
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
+	}
+	// Variables: u(n), v(n), s(m), t(m) with
+	//   Φ̃(u−v) + s           = y + eps        (upper bound)
+	//   s + t                 = 2·eps          (s ≤ 2eps)
+	// all variables ≥ 0. Objective Σu + Σv.
+	nv := 2*n + 2*m
+	rows := 2 * m
+	prob := lp.Problem{
+		Rows: rows, Cols: nv,
+		A: make([]float64, rows*nv),
+		B: make([]float64, rows),
+		C: make([]float64, nv),
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			prob.A[i*nv+j] = a.Data[i*n+j]
+			prob.A[i*nv+n+j] = -a.Data[i*n+j]
+		}
+		prob.A[i*nv+2*n+i] = 1
+		prob.B[i] = y[i] + eps
+		// Row m+i: s_i + t_i = 2 eps.
+		prob.A[(m+i)*nv+2*n+i] = 1
+		prob.A[(m+i)*nv+2*n+m+i] = 1
+		prob.B[m+i] = 2 * eps
+	}
+	for j := 0; j < 2*n; j++ {
+		prob.C[j] = 1
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("cs: BPDN LP failed: %w", err)
+	}
+	support := make([]int, 0)
+	coef := make([]float64, 0)
+	for j := 0; j < n; j++ {
+		v := sol.X[j] - sol.X[n+j]
+		if math.Abs(v) > zeroTol {
+			support = append(support, j)
+			coef = append(coef, v)
+		}
+	}
+	return packResult(phi, support, coef, y, a, sol.Iterations)
+}
+
+// --- helpers -------------------------------------------------------------------
+
+// hardThreshold zeroes all but the k largest-magnitude entries in place.
+func hardThreshold(v []float64, k int) {
+	keep := topKIndices(v, k)
+	mask := make(map[int]bool, len(keep))
+	for _, j := range keep {
+		mask[j] = true
+	}
+	for j := range v {
+		if !mask[j] {
+			v[j] = 0
+		}
+	}
+}
+
+// topKIndices returns the indices of the k largest |v| entries.
+func topKIndices(v []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(v) {
+		k = len(v)
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if math.Abs(v[idx[j]]) > math.Abs(v[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([]int, k)
+	copy(out, idx[:k])
+	return out
+}
+
+// supportOf returns the sorted nonzero indices.
+func supportOf(v []float64) []int {
+	var out []int
+	for j, x := range v {
+		if x != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

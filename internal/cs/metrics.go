@@ -1,0 +1,227 @@
+package cs
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/mat"
+)
+
+// RMSE returns the root-mean-square error between truth and estimate.
+func RMSE(x, xhat []float64) float64 {
+	if len(x) != len(xhat) || len(x) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range x {
+		d := x[i] - xhat[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// NMSE returns ‖x − x̂‖² / ‖x‖², the normalized mean-square error used for
+// the Fig. 4 reconstruction-error curve. Returns +Inf for a zero truth
+// signal with nonzero estimate.
+func NMSE(x, xhat []float64) float64 {
+	if len(x) != len(xhat) || len(x) == 0 {
+		return math.NaN()
+	}
+	num, den := 0.0, 0.0
+	for i := range x {
+		d := x[i] - xhat[i]
+		num += d * d
+		den += x[i] * x[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// Accuracy returns the reconstruction accuracy 1 − ‖x−x̂‖/‖x‖ (clamped to
+// [0,1]), the "accuracy of reconstruction" axis of the paper's Fig. 4.
+func Accuracy(x, xhat []float64) float64 {
+	n := NMSE(x, xhat)
+	if math.IsNaN(n) {
+		return math.NaN()
+	}
+	a := 1 - math.Sqrt(n)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// SNRdB returns the reconstruction signal-to-noise ratio in decibels.
+func SNRdB(x, xhat []float64) float64 {
+	n := NMSE(x, xhat)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(n)
+}
+
+// PSNRdB returns the peak signal-to-noise ratio in decibels for a signal
+// with the given peak value.
+func PSNRdB(x, xhat []float64, peak float64) float64 {
+	r := RMSE(x, xhat)
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(peak/r)
+}
+
+// ErrorBreakdown decomposes the total reconstruction error into the
+// paper's three components (§4): the K-term approximation error ε_a, a
+// conditioning indicator ε_c (the condition number of the sensing
+// submatrix Φ̃_K — large values amplify noise), and the measurement noise
+// floor ε_m. Total is the realized reconstruction NMSE.
+type ErrorBreakdown struct {
+	ApproxNMSE float64 // ε_a: NMSE of the best K-term approximation of x
+	Condition  float64 // ε_c indicator: cond(Φ̃_K) on the recovered support
+	NoiseNMSE  float64 // ε_m: measurement-noise energy relative to signal
+	TotalNMSE  float64 // realized NMSE of the reconstruction
+}
+
+// Diagnose computes the error breakdown for a completed recovery against
+// ground truth x. noiseSigmas are the per-measurement noise standard
+// deviations used (nil → 0).
+func Diagnose(phi *mat.Matrix, x []float64, locs []int, res *Result, noiseSigmas []float64) (*ErrorBreakdown, error) {
+	if res == nil {
+		return nil, errors.New("cs: nil result")
+	}
+	k := len(res.Support)
+	bd := &ErrorBreakdown{TotalNMSE: NMSE(x, res.Xhat)}
+	// ε_a: best K-term approximation in the basis.
+	alpha, err := basis.Analyze(phi, x)
+	if err != nil {
+		return nil, err
+	}
+	sparse, _ := basis.SparsifyTopK(alpha, k)
+	xk, err := basis.Synthesize(phi, sparse)
+	if err != nil {
+		return nil, err
+	}
+	bd.ApproxNMSE = NMSE(x, xk)
+	// ε_c: conditioning of the sensing submatrix on the recovered support.
+	if k > 0 {
+		a, err := sensingMatrix(phi, locs)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := mat.SelectCols(a, res.Support)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := mat.ConditionEstimate(sub)
+		if err != nil {
+			return nil, err
+		}
+		bd.Condition = cond
+	}
+	// ε_m: noise energy relative to signal energy at the sensors.
+	sigE := 0.0
+	for _, l := range locs {
+		sigE += x[l] * x[l]
+	}
+	noiseE := 0.0
+	for i := range locs {
+		s := 0.0
+		if len(noiseSigmas) == 1 {
+			s = noiseSigmas[0]
+		} else if len(noiseSigmas) > i {
+			s = noiseSigmas[i]
+		}
+		noiseE += s * s
+	}
+	if sigE > 0 {
+		bd.NoiseNMSE = noiseE / sigE
+	}
+	return bd, nil
+}
+
+// MutualCoherence returns µ(Φ̃) = max_{i≠j} |⟨φ̃ᵢ, φ̃ⱼ⟩| / (‖φ̃ᵢ‖‖φ̃ⱼ‖),
+// the worst normalized correlation between distinct columns of the sensing
+// matrix at the given locations. Low coherence is the classical sufficient
+// condition for sparse recovery (exact for K < (1 + 1/µ)/2), so brokers
+// can use it to sanity-check a sensor placement before trusting a
+// reconstruction. Zero columns are skipped.
+func MutualCoherence(phi *mat.Matrix, locs []int) (float64, error) {
+	a, err := sensingMatrix(phi, locs)
+	if err != nil {
+		return 0, err
+	}
+	m, n := a.Rows, a.Cols
+	norms := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			v := a.Data[i*n+j]
+			s += v * v
+		}
+		norms[j] = math.Sqrt(s)
+	}
+	mu := 0.0
+	for j1 := 0; j1 < n; j1++ {
+		if norms[j1] == 0 {
+			continue
+		}
+		for j2 := j1 + 1; j2 < n; j2++ {
+			if norms[j2] == 0 {
+				continue
+			}
+			dot := 0.0
+			for i := 0; i < m; i++ {
+				dot += a.Data[i*n+j1] * a.Data[i*n+j2]
+			}
+			if c := math.Abs(dot) / (norms[j1] * norms[j2]); c > mu {
+				mu = c
+			}
+		}
+	}
+	return mu, nil
+}
+
+// CoherenceSparsityBound returns the largest K for which mutual coherence
+// µ guarantees exact recovery: K < (1 + 1/µ)/2. Returns a large bound for
+// µ = 0 (orthogonal columns).
+func CoherenceSparsityBound(mu float64) int {
+	if mu <= 0 {
+		return math.MaxInt32
+	}
+	k := int(math.Ceil((1+1/mu)/2)) - 1
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// CompressionRatio returns N/M, the paper's compression ratio for M
+// measurements of an N-point field.
+func CompressionRatio(n, m int) float64 {
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / float64(m)
+}
+
+// TheoreticalM returns the O(K·log N) measurement count the paper cites as
+// sufficient for recovery (with the customary constant c).
+func TheoreticalM(k, n int, c float64) int {
+	if k <= 0 || n <= 1 {
+		return 0
+	}
+	m := int(math.Ceil(c * float64(k) * math.Log(float64(n))))
+	if m > n {
+		m = n
+	}
+	return m
+}

@@ -1,0 +1,147 @@
+// Package discovery implements the service/peer discovery registry of the
+// SenseDroid middleware: brokers announce themselves, nodes find their
+// NanoCloud broker, and the local cloud tracks which NC brokers are alive.
+// Entries carry a lease and expire unless renewed, so departed mobile
+// nodes disappear from the directory — mobility makes this essential.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry describes one announced service or peer.
+type Entry struct {
+	Name     string            // unique name, e.g. "nc0/broker"
+	Kind     string            // "broker", "node", "cloud", ...
+	Addr     string            // transport address or bus topic prefix
+	Metadata map[string]string // free-form attributes (zone, capabilities)
+	Expires  time.Time
+}
+
+// Registry is a lease-based service directory, safe for concurrent use.
+// A zero TTL on Announce uses the registry default.
+type Registry struct {
+	mu         sync.Mutex
+	entries    map[string]Entry
+	defaultTTL time.Duration
+	now        func() time.Time // injectable clock for tests
+}
+
+// ErrNotFound reports a lookup miss.
+var ErrNotFound = errors.New("discovery: not found")
+
+// NewRegistry creates a registry with the given default lease TTL.
+func NewRegistry(defaultTTL time.Duration) *Registry {
+	if defaultTTL <= 0 {
+		defaultTTL = 30 * time.Second
+	}
+	return &Registry{
+		entries:    make(map[string]Entry),
+		defaultTTL: defaultTTL,
+		now:        time.Now,
+	}
+}
+
+// SetClock injects a time source (tests).
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Announce registers or renews an entry with the given TTL (0 = default).
+func (r *Registry) Announce(e Entry, ttl time.Duration) error {
+	if e.Name == "" {
+		return errors.New("discovery: entry needs a name")
+	}
+	if ttl <= 0 {
+		ttl = r.defaultTTL
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Expires = r.now().Add(ttl)
+	r.entries[e.Name] = e
+	return nil
+}
+
+// Renew extends an existing entry's lease.
+func (r *Registry) Renew(name string, ttl time.Duration) error {
+	if ttl <= 0 {
+		ttl = r.defaultTTL
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || !e.Expires.After(r.now()) {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.Expires = r.now().Add(ttl)
+	r.entries[name] = e
+	return nil
+}
+
+// Withdraw removes an entry immediately.
+func (r *Registry) Withdraw(name string) {
+	r.mu.Lock()
+	delete(r.entries, name)
+	r.mu.Unlock()
+}
+
+// Lookup returns a live entry by name.
+func (r *Registry) Lookup(name string) (Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || !e.Expires.After(r.now()) {
+		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// ByKind returns all live entries of a kind, sorted by name.
+func (r *Registry) ByKind(kind string) []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var out []Entry
+	for _, e := range r.entries {
+		if e.Kind == kind && e.Expires.After(now) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Sweep removes expired entries and returns how many were dropped.
+func (r *Registry) Sweep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	n := 0
+	for name, e := range r.entries {
+		if !e.Expires.After(now) {
+			delete(r.entries, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of live entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	n := 0
+	for _, e := range r.entries {
+		if e.Expires.After(now) {
+			n++
+		}
+	}
+	return n
+}

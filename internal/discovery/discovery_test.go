@@ -1,0 +1,108 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets tests advance time manually.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestRegistry() (*Registry, *fakeClock) {
+	r := NewRegistry(10 * time.Second)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	r.SetClock(fc.now)
+	return r, fc
+}
+
+func TestAnnounceLookup(t *testing.T) {
+	r, _ := newTestRegistry()
+	if err := r.Announce(Entry{Name: "nc0/broker", Kind: "broker", Addr: "nc/0"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Lookup("nc0/broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "broker" || e.Addr != "nc/0" {
+		t.Fatalf("entry %+v", e)
+	}
+	if _, err := r.Lookup("ghost"); err == nil {
+		t.Fatal("want not-found")
+	}
+	if err := r.Announce(Entry{}, 0); err == nil {
+		t.Fatal("want name error")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	r, fc := newTestRegistry()
+	r.Announce(Entry{Name: "n1", Kind: "node"}, 5*time.Second)
+	fc.advance(4 * time.Second)
+	if _, err := r.Lookup("n1"); err != nil {
+		t.Fatal("entry should still be live")
+	}
+	fc.advance(2 * time.Second)
+	if _, err := r.Lookup("n1"); err == nil {
+		t.Fatal("entry should have expired")
+	}
+	if r.Len() != 0 {
+		t.Fatal("expired entry counted as live")
+	}
+}
+
+func TestRenew(t *testing.T) {
+	r, fc := newTestRegistry()
+	r.Announce(Entry{Name: "n1", Kind: "node"}, 5*time.Second)
+	fc.advance(4 * time.Second)
+	if err := r.Renew("n1", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fc.advance(4 * time.Second)
+	if _, err := r.Lookup("n1"); err != nil {
+		t.Fatal("renewed entry should be live")
+	}
+	fc.advance(2 * time.Second)
+	if err := r.Renew("n1", 0); err == nil {
+		t.Fatal("renewing an expired entry should fail")
+	}
+}
+
+func TestByKindSorted(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.Announce(Entry{Name: "b", Kind: "node"}, 0)
+	r.Announce(Entry{Name: "a", Kind: "node"}, 0)
+	r.Announce(Entry{Name: "c", Kind: "broker"}, 0)
+	nodes := r.ByKind("node")
+	if len(nodes) != 2 || nodes[0].Name != "a" || nodes[1].Name != "b" {
+		t.Fatalf("ByKind=%v", nodes)
+	}
+}
+
+func TestWithdrawAndSweep(t *testing.T) {
+	r, fc := newTestRegistry()
+	r.Announce(Entry{Name: "a", Kind: "node"}, 2*time.Second)
+	r.Announce(Entry{Name: "b", Kind: "node"}, 20*time.Second)
+	r.Withdraw("a")
+	if _, err := r.Lookup("a"); err == nil {
+		t.Fatal("withdrawn entry should be gone")
+	}
+	r.Announce(Entry{Name: "c", Kind: "node"}, 1*time.Second)
+	fc.advance(5 * time.Second)
+	if n := r.Sweep(); n != 1 {
+		t.Fatalf("swept %d, want 1 (c)", n)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("live entries %d, want 1 (b)", r.Len())
+	}
+}
+
+func TestDefaultTTLFallback(t *testing.T) {
+	r := NewRegistry(0)
+	if r.defaultTTL <= 0 {
+		t.Fatal("zero TTL should fall back to a positive default")
+	}
+}

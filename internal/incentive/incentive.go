@@ -1,0 +1,217 @@
+// Package incentive implements the participation-incentive mechanisms the
+// paper surveys as required substrate for collaboration (§5): recruitment
+// by coverage (after Reddy et al.), a sealed-bid second-price reverse
+// auction (after Danezis et al.), and a reverse auction with dynamic price
+// and virtual participation credit (after Lee & Hoh), plus the comparative
+// evaluation across mechanisms (after Duan et al.).
+package incentive
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// Candidate is one potential participant: their private cost of sensing,
+// the grid cells they can cover, and their announced bid.
+type Candidate struct {
+	ID       string
+	Cost     float64 // true private cost per task
+	Bid      float64 // announced asking price (>= 0)
+	Coverage []int   // field cells this candidate can sense
+}
+
+// Selection is the outcome of a recruitment/auction round.
+type Selection struct {
+	Winners  []Candidate
+	Payments map[string]float64 // per winner
+	Covered  map[int]bool       // union of winner coverage
+	Total    float64            // total payout
+}
+
+// Recruit greedily selects participants maximizing marginal
+// coverage-per-cost until the budget is exhausted (the recruitment
+// framework approach: pick well-suited participants, pay their bid).
+func Recruit(cands []Candidate, budget float64) (*Selection, error) {
+	if budget <= 0 {
+		return nil, errors.New("incentive: budget must be positive")
+	}
+	sel := &Selection{Payments: map[string]float64{}, Covered: map[int]bool{}}
+	remaining := append([]Candidate(nil), cands...)
+	for {
+		bestIdx, bestScore := -1, 0.0
+		for i, c := range remaining {
+			if c.Bid > budget-sel.Total || c.Bid < 0 {
+				continue
+			}
+			marginal := 0
+			for _, cell := range c.Coverage {
+				if !sel.Covered[cell] {
+					marginal++
+				}
+			}
+			if marginal == 0 {
+				continue
+			}
+			price := c.Bid
+			if price <= 0 {
+				price = 1e-9 // free participant: infinitely good score
+			}
+			score := float64(marginal) / price
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		w := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		sel.Winners = append(sel.Winners, w)
+		sel.Payments[w.ID] = w.Bid
+		sel.Total += w.Bid
+		for _, cell := range w.Coverage {
+			sel.Covered[cell] = true
+		}
+	}
+	return sel, nil
+}
+
+// SecondPriceReverse runs a sealed-bid reverse Vickrey auction selecting
+// the k lowest bidders; each winner is paid the (k+1)-th lowest bid (the
+// first losing bid), which makes truthful bidding a dominant strategy.
+func SecondPriceReverse(cands []Candidate, k int) (*Selection, error) {
+	if k <= 0 {
+		return nil, errors.New("incentive: k must be positive")
+	}
+	if len(cands) < k+1 {
+		return nil, errors.New("incentive: need at least k+1 bidders for a second-price payment")
+	}
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Bid != sorted[j].Bid {
+			return sorted[i].Bid < sorted[j].Bid
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	clearing := sorted[k].Bid
+	sel := &Selection{Payments: map[string]float64{}, Covered: map[int]bool{}}
+	for _, w := range sorted[:k] {
+		sel.Winners = append(sel.Winners, w)
+		sel.Payments[w.ID] = clearing
+		sel.Total += clearing
+		for _, cell := range w.Coverage {
+			sel.Covered[cell] = true
+		}
+	}
+	return sel, nil
+}
+
+// DynamicRoundStats records one round of the dynamic-price reverse auction.
+type DynamicRoundStats struct {
+	Round        int
+	Price        float64
+	Participants int
+	Winners      int
+	Cost         float64
+}
+
+// ReverseAuctionDynamic runs the RADP-style repeated reverse auction: each
+// round the platform buys up to k readings at the current price from
+// candidates whose bid (cost) does not exceed it. If fewer than k sell,
+// the price rises by riseFactor; if all k slots fill, it decays by
+// decayFactor — converging toward the market-clearing price while keeping
+// participation up (the virtual-participation-credit effect is modeled by
+// candidates shading their bid toward cost after losing).
+func ReverseAuctionDynamic(rng *rand.Rand, cands []Candidate, k, rounds int, startPrice, riseFactor, decayFactor float64) ([]DynamicRoundStats, error) {
+	if k <= 0 || rounds <= 0 {
+		return nil, errors.New("incentive: k and rounds must be positive")
+	}
+	if startPrice <= 0 || riseFactor <= 1 || decayFactor <= 0 || decayFactor >= 1 {
+		return nil, errors.New("incentive: need startPrice>0, riseFactor>1, 0<decayFactor<1")
+	}
+	bids := make([]float64, len(cands))
+	for i, c := range cands {
+		bids[i] = c.Bid
+	}
+	price := startPrice
+	var stats []DynamicRoundStats
+	for r := 0; r < rounds; r++ {
+		var sellers []int
+		for i := range cands {
+			if bids[i] <= price {
+				sellers = append(sellers, i)
+			}
+		}
+		// The platform buys from the cheapest k sellers at the posted price.
+		sort.Slice(sellers, func(a, b int) bool { return bids[sellers[a]] < bids[sellers[b]] })
+		winners := sellers
+		if len(winners) > k {
+			winners = winners[:k]
+		}
+		st := DynamicRoundStats{
+			Round: r, Price: price,
+			Participants: len(sellers), Winners: len(winners),
+			Cost: price * float64(len(winners)),
+		}
+		stats = append(stats, st)
+		// Losers shade bids down toward their true cost to win next round.
+		winnerSet := map[int]bool{}
+		for _, w := range winners {
+			winnerSet[w] = true
+		}
+		for i := range cands {
+			if !winnerSet[i] && bids[i] > cands[i].Cost {
+				bids[i] = cands[i].Cost + (bids[i]-cands[i].Cost)*0.7*rng.Float64()
+			}
+		}
+		if len(winners) < k {
+			price *= riseFactor
+		} else {
+			price *= decayFactor
+			// Never post below the cheapest true cost; nothing would sell.
+			minCost := cands[0].Cost
+			for _, c := range cands[1:] {
+				if c.Cost < minCost {
+					minCost = c.Cost
+				}
+			}
+			if price < minCost {
+				price = minCost
+			}
+		}
+	}
+	return stats, nil
+}
+
+// Outcome summarizes one mechanism in the comparative study.
+type Outcome struct {
+	Mechanism    string
+	TotalCost    float64
+	CoveredCells int
+	Winners      int
+}
+
+// Compare runs the three mechanisms on the same candidate pool for a task
+// wanting k participants (after Duan et al.'s comparative study). For the
+// dynamic auction the last-round steady state is reported.
+func Compare(rng *rand.Rand, cands []Candidate, k int, budget float64) ([]Outcome, error) {
+	var out []Outcome
+	rec, err := Recruit(cands, budget)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Outcome{"recruitment", rec.Total, len(rec.Covered), len(rec.Winners)})
+	vick, err := SecondPriceReverse(cands, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Outcome{"second-price", vick.Total, len(vick.Covered), len(vick.Winners)})
+	dyn, err := ReverseAuctionDynamic(rng, cands, k, 25, budget/float64(4*k), 1.25, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	last := dyn[len(dyn)-1]
+	out = append(out, Outcome{"reverse-dynamic", last.Cost, 0, last.Winners})
+	return out, nil
+}

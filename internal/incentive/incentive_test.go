@@ -1,0 +1,173 @@
+package incentive
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func pool(rng *rand.Rand, n, cells int) []Candidate {
+	cands := make([]Candidate, n)
+	for i := range cands {
+		cost := 1 + rng.Float64()*4
+		cover := make([]int, 1+rng.Intn(4))
+		for j := range cover {
+			cover[j] = rng.Intn(cells)
+		}
+		cands[i] = Candidate{
+			ID:       fmt.Sprintf("u%02d", i),
+			Cost:     cost,
+			Bid:      cost * (1 + rng.Float64()), // bid above true cost
+			Coverage: cover,
+		}
+	}
+	return cands
+}
+
+func TestRecruitRespectsBudgetAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := pool(rng, 30, 50)
+	sel, err := Recruit(cands, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Total > 20 {
+		t.Fatalf("spent %v over budget", sel.Total)
+	}
+	if len(sel.Winners) == 0 || len(sel.Covered) == 0 {
+		t.Fatal("nothing recruited")
+	}
+	// Every winner added coverage (no useless hires).
+	for _, w := range sel.Winners {
+		if len(w.Coverage) == 0 {
+			t.Fatalf("winner %s covers nothing", w.ID)
+		}
+	}
+	if _, err := Recruit(cands, 0); err == nil {
+		t.Fatal("want budget error")
+	}
+}
+
+func TestRecruitPrefersEfficientCandidates(t *testing.T) {
+	cands := []Candidate{
+		{ID: "cheap-wide", Bid: 1, Coverage: []int{1, 2, 3, 4}},
+		{ID: "dear-narrow", Bid: 10, Coverage: []int{5}},
+	}
+	sel, err := Recruit(cands, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Winners) != 1 || sel.Winners[0].ID != "cheap-wide" {
+		t.Fatalf("winners %v", sel.Winners)
+	}
+}
+
+func TestSecondPriceSelectsLowestAndPaysClearing(t *testing.T) {
+	cands := []Candidate{
+		{ID: "a", Bid: 5}, {ID: "b", Bid: 2}, {ID: "c", Bid: 8}, {ID: "d", Bid: 3},
+	}
+	sel, err := SecondPriceReverse(cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Winners) != 2 || sel.Winners[0].ID != "b" || sel.Winners[1].ID != "d" {
+		t.Fatalf("winners %v", sel.Winners)
+	}
+	// Clearing price is the 3rd lowest bid (5).
+	if sel.Payments["b"] != 5 || sel.Payments["d"] != 5 || sel.Total != 10 {
+		t.Fatalf("payments %v total %v", sel.Payments, sel.Total)
+	}
+}
+
+func TestSecondPriceTruthfulnessIncentive(t *testing.T) {
+	// A winner's payment never depends on its own bid: overbidding can
+	// only lose the auction, never raise the payment received.
+	base := []Candidate{{ID: "x", Bid: 2}, {ID: "y", Bid: 4}, {ID: "z", Bid: 6}}
+	sel, _ := SecondPriceReverse(base, 1)
+	payTruthful := sel.Payments["x"]
+	// x raises its bid but still wins → same payment.
+	raised := []Candidate{{ID: "x", Bid: 3.9}, {ID: "y", Bid: 4}, {ID: "z", Bid: 6}}
+	sel2, _ := SecondPriceReverse(raised, 1)
+	if sel2.Payments["x"] != payTruthful {
+		t.Fatalf("payment moved with own bid: %v vs %v", sel2.Payments["x"], payTruthful)
+	}
+}
+
+func TestSecondPriceErrors(t *testing.T) {
+	cands := []Candidate{{ID: "a", Bid: 1}, {ID: "b", Bid: 2}}
+	if _, err := SecondPriceReverse(cands, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := SecondPriceReverse(cands, 2); err == nil {
+		t.Fatal("want k+1 bidders error")
+	}
+}
+
+func TestReverseAuctionDynamicConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cands := pool(rng, 40, 50)
+	stats, err := ReverseAuctionDynamic(rng, cands, 10, 40, 0.5, 1.3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 40 {
+		t.Fatalf("rounds %d", len(stats))
+	}
+	// Later rounds should reliably fill all k slots.
+	last := stats[len(stats)-1]
+	if last.Winners < 10 {
+		t.Fatalf("steady state fills %d of 10 slots", last.Winners)
+	}
+	// Price should have come down from any early spike: final price below
+	// the maximum price seen.
+	maxPrice := 0.0
+	for _, s := range stats {
+		if s.Price > maxPrice {
+			maxPrice = s.Price
+		}
+	}
+	if last.Price > maxPrice {
+		t.Fatal("price did not stabilize")
+	}
+}
+
+func TestReverseAuctionDynamicValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cands := pool(rng, 10, 10)
+	if _, err := ReverseAuctionDynamic(rng, cands, 0, 5, 1, 1.2, 0.9); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := ReverseAuctionDynamic(rng, cands, 2, 5, 0, 1.2, 0.9); err == nil {
+		t.Fatal("want price error")
+	}
+	if _, err := ReverseAuctionDynamic(rng, cands, 2, 5, 1, 0.9, 0.9); err == nil {
+		t.Fatal("want riseFactor error")
+	}
+	if _, err := ReverseAuctionDynamic(rng, cands, 2, 5, 1, 1.2, 1.5); err == nil {
+		t.Fatal("want decayFactor error")
+	}
+}
+
+func TestCompareProducesAllMechanisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cands := pool(rng, 50, 64)
+	out, err := Compare(rng, cands, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("outcomes %v", out)
+	}
+	names := map[string]bool{}
+	for _, o := range out {
+		names[o.Mechanism] = true
+		if o.TotalCost < 0 {
+			t.Fatalf("negative cost %+v", o)
+		}
+	}
+	for _, want := range []string{"recruitment", "second-price", "reverse-dynamic"} {
+		if !names[want] {
+			t.Fatalf("missing mechanism %s", want)
+		}
+	}
+}

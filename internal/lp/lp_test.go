@@ -1,0 +1,196 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrFatal(t *testing.T, p Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestSimpleEquality(t *testing.T) {
+	// min x1 + 2 x2  s.t. x1 + x2 = 4, x >= 0  → x = (4, 0), obj 4.
+	res := solveOrFatal(t, Problem{
+		C: []float64{1, 2}, A: []float64{1, 1}, B: []float64{4}, Rows: 1, Cols: 2,
+	})
+	if math.Abs(res.Objective-4) > 1e-8 {
+		t.Fatalf("obj=%v want 4", res.Objective)
+	}
+	if math.Abs(res.X[0]-4) > 1e-8 || math.Abs(res.X[1]) > 1e-8 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestTwoConstraints(t *testing.T) {
+	// min -x1 - x2  s.t. x1 + 2x2 + s1 = 4; 3x1 + x2 + s2 = 6  (slacks as vars)
+	// LP optimum at intersection x1=8/5, x2=6/5, obj=-14/5.
+	res := solveOrFatal(t, Problem{
+		C:    []float64{-1, -1, 0, 0},
+		A:    []float64{1, 2, 1, 0, 3, 1, 0, 1},
+		B:    []float64{4, 6},
+		Rows: 2, Cols: 4,
+	})
+	if math.Abs(res.Objective-(-14.0/5)) > 1e-8 {
+		t.Fatalf("obj=%v want -2.8", res.Objective)
+	}
+	if math.Abs(res.X[0]-1.6) > 1e-8 || math.Abs(res.X[1]-1.2) > 1e-8 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 = 1 and x1 = 2 simultaneously.
+	_, err := Solve(Problem{
+		C: []float64{1}, A: []float64{1, 1}, B: []float64{1, 2}, Rows: 2, Cols: 1,
+	})
+	if err != ErrInfeasible {
+		t.Fatalf("err=%v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x1 s.t. x1 - x2 = 0: x1 can grow without bound.
+	_, err := Solve(Problem{
+		C: []float64{-1, 0}, A: []float64{1, -1}, B: []float64{0}, Rows: 1, Cols: 2,
+	})
+	if err != ErrUnbounded {
+		t.Fatalf("err=%v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x1 = -3 → x1 = 3.
+	res := solveOrFatal(t, Problem{
+		C: []float64{1}, A: []float64{-1}, B: []float64{-3}, Rows: 1, Cols: 1,
+	})
+	if math.Abs(res.X[0]-3) > 1e-8 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestRedundantConstraint(t *testing.T) {
+	// Duplicate rows must not break phase 1 → 2 transition.
+	res := solveOrFatal(t, Problem{
+		C:    []float64{2, 3},
+		A:    []float64{1, 1, 1, 1},
+		B:    []float64{5, 5},
+		Rows: 2, Cols: 2,
+	})
+	if math.Abs(res.X[0]+res.X[1]-5) > 1e-8 {
+		t.Fatalf("constraint violated: x=%v", res.X)
+	}
+	if math.Abs(res.Objective-10) > 1e-8 { // all mass on the cheaper var
+		t.Fatalf("obj=%v want 10", res.Objective)
+	}
+}
+
+func TestShapeError(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: []float64{1, 2}, B: []float64{1}, Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Classic degeneracy-prone program; Bland's rule must terminate.
+	res := solveOrFatal(t, Problem{
+		C: []float64{-0.75, 150, -0.02, 6, 0, 0, 0},
+		A: []float64{
+			0.25, -60, -0.04, 9, 1, 0, 0,
+			0.5, -90, -0.02, 3, 0, 1, 0,
+			0, 0, 1, 0, 0, 0, 1,
+		},
+		B:    []float64{0, 0, 1},
+		Rows: 3, Cols: 7,
+	})
+	if math.Abs(res.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("obj=%v want -0.05", res.Objective)
+	}
+}
+
+// Property: the returned point always satisfies Ax=b and x>=0 for random
+// feasible problems (constructed by picking a nonnegative x0 and setting
+// b = A x0).
+func TestPropFeasibilityOfOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(4)
+		n := m + 1 + rng.Intn(5)
+		p := Problem{Rows: m, Cols: n,
+			A: make([]float64, m*n), B: make([]float64, m), C: make([]float64, n)}
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 5
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				p.A[i*n+j] = rng.NormFloat64()
+				p.B[i] += p.A[i*n+j] * x0[j]
+			}
+		}
+		for j := range p.C {
+			p.C[j] = rng.Float64() // nonnegative costs → bounded below by 0
+		}
+		res, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for _, x := range res.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += p.A[i*n+j] * res.X[j]
+			}
+			if math.Abs(s-p.B[i]) > 1e-6*(1+math.Abs(p.B[i])) {
+				return false
+			}
+		}
+		// Optimal objective cannot exceed the feasible point's objective.
+		obj0 := 0.0
+		for j := range x0 {
+			obj0 += p.C[j] * x0[j]
+		}
+		return res.Objective <= obj0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve20x60(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 20, 60
+	p := Problem{Rows: m, Cols: n,
+		A: make([]float64, m*n), B: make([]float64, m), C: make([]float64, n)}
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			p.A[i*n+j] = rng.NormFloat64()
+			p.B[i] += p.A[i*n+j] * x0[j]
+		}
+	}
+	for j := range p.C {
+		p.C[j] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v (sum of absolute values).
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Norm0 returns the number of entries with |v[i]| > tol — the "L0 norm"
+// used throughout the compressive-sensing literature (paper Eq. 8).
+func Norm0(v []float64, tol float64) int {
+	n := 0
+	for _, x := range v {
+		if math.Abs(x) > tol {
+			n++
+		}
+	}
+	return n
+}
+
+// AddVec returns a+b element-wise.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: AddVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// SubVec returns a-b element-wise.
+func SubVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: SubVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*v.
+func ScaleVec(s float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = s * x
+	}
+	return out
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v (0 for empty input).
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// ArgMaxAbs returns the index of the entry with largest absolute value
+// (-1 for empty input).
+func ArgMaxAbs(v []float64) int {
+	idx, best := -1, -1.0
+	for i, x := range v {
+		if a := math.Abs(x); a > best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}

@@ -1,0 +1,201 @@
+// Package mobility provides the node mobility models that stand in for
+// real human movement: random waypoint (the classic MANET model) and
+// Gauss–Markov (temporally correlated velocity). Node positions drive
+// which field grid point each mobile sensor can measure, so coverage and
+// collaboration results depend on them; the models are deterministic under
+// a seed for reproducible experiments.
+package mobility
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Point is a position in continuous field coordinates: X along columns
+// (0..W), Y along rows (0..H).
+type Point struct {
+	X, Y float64
+}
+
+// Model advances a node position through simulated time.
+type Model interface {
+	// Step advances the model by dt seconds and returns the new position.
+	Step(dt float64) Point
+	// Pos returns the current position without advancing.
+	Pos() Point
+}
+
+// --- Random waypoint -----------------------------------------------------------
+
+// RandomWaypoint implements the random-waypoint model: pick a uniform
+// destination, travel at a uniform-random speed, pause, repeat.
+type RandomWaypoint struct {
+	w, h               float64
+	minSpeed, maxSpeed float64
+	pause              float64
+	rng                *rand.Rand
+
+	pos, dst  Point
+	speed     float64
+	pauseLeft float64
+}
+
+// NewRandomWaypoint creates a model confined to a w×h area.
+func NewRandomWaypoint(rng *rand.Rand, w, h, minSpeed, maxSpeed, pause float64) (*RandomWaypoint, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("mobility: area must be positive")
+	}
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		return nil, errors.New("mobility: need 0 < minSpeed <= maxSpeed")
+	}
+	m := &RandomWaypoint{w: w, h: h, minSpeed: minSpeed, maxSpeed: maxSpeed, pause: pause, rng: rng}
+	m.pos = Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	m.pickDestination()
+	return m, nil
+}
+
+func (m *RandomWaypoint) pickDestination() {
+	m.dst = Point{X: m.rng.Float64() * m.w, Y: m.rng.Float64() * m.h}
+	m.speed = m.minSpeed + m.rng.Float64()*(m.maxSpeed-m.minSpeed)
+}
+
+// Pos returns the current position.
+func (m *RandomWaypoint) Pos() Point { return m.pos }
+
+// Step advances by dt seconds.
+func (m *RandomWaypoint) Step(dt float64) Point {
+	for dt > 0 {
+		if m.pauseLeft > 0 {
+			if m.pauseLeft >= dt {
+				m.pauseLeft -= dt
+				return m.pos
+			}
+			dt -= m.pauseLeft
+			m.pauseLeft = 0
+		}
+		dx, dy := m.dst.X-m.pos.X, m.dst.Y-m.pos.Y
+		dist := math.Hypot(dx, dy)
+		travel := m.speed * dt
+		if travel >= dist {
+			// Arrive, spend remaining time pausing then pick a new target.
+			m.pos = m.dst
+			if m.speed > 0 {
+				dt -= dist / m.speed
+			} else {
+				dt = 0
+			}
+			m.pauseLeft = m.pause
+			m.pickDestination()
+			continue
+		}
+		m.pos.X += dx / dist * travel
+		m.pos.Y += dy / dist * travel
+		return m.pos
+	}
+	return m.pos
+}
+
+// --- Gauss–Markov ---------------------------------------------------------------
+
+// GaussMarkov implements the Gauss–Markov mobility model: speed and
+// direction evolve as AR(1) processes around their means, giving smoother,
+// temporally correlated trajectories than random waypoint. alpha∈[0,1]
+// controls memory (1 = straight line, 0 = Brownian).
+type GaussMarkov struct {
+	w, h      float64
+	alpha     float64
+	meanSpeed float64
+	sigma     float64
+	rng       *rand.Rand
+
+	pos       Point
+	speed     float64
+	direction float64
+}
+
+// NewGaussMarkov creates a model confined to a w×h area.
+func NewGaussMarkov(rng *rand.Rand, w, h, alpha, meanSpeed, sigma float64) (*GaussMarkov, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("mobility: area must be positive")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, errors.New("mobility: alpha must be in [0,1]")
+	}
+	if meanSpeed <= 0 {
+		return nil, errors.New("mobility: meanSpeed must be positive")
+	}
+	return &GaussMarkov{
+		w: w, h: h, alpha: alpha, meanSpeed: meanSpeed, sigma: sigma, rng: rng,
+		pos:       Point{X: rng.Float64() * w, Y: rng.Float64() * h},
+		speed:     meanSpeed,
+		direction: rng.Float64() * 2 * math.Pi,
+	}, nil
+}
+
+// Pos returns the current position.
+func (m *GaussMarkov) Pos() Point { return m.pos }
+
+// Step advances by dt seconds.
+func (m *GaussMarkov) Step(dt float64) Point {
+	a := m.alpha
+	root := math.Sqrt(1 - a*a)
+	m.speed = a*m.speed + (1-a)*m.meanSpeed + root*m.sigma*m.rng.NormFloat64()
+	if m.speed < 0 {
+		m.speed = 0
+	}
+	meanDir := m.direction
+	m.direction = a*m.direction + (1-a)*meanDir + root*0.5*m.rng.NormFloat64()
+	m.pos.X += m.speed * math.Cos(m.direction) * dt
+	m.pos.Y += m.speed * math.Sin(m.direction) * dt
+	// Reflect at the boundary so nodes stay in the area.
+	if m.pos.X < 0 {
+		m.pos.X = -m.pos.X
+		m.direction = math.Pi - m.direction
+	}
+	if m.pos.X > m.w {
+		m.pos.X = 2*m.w - m.pos.X
+		m.direction = math.Pi - m.direction
+	}
+	if m.pos.Y < 0 {
+		m.pos.Y = -m.pos.Y
+		m.direction = -m.direction
+	}
+	if m.pos.Y > m.h {
+		m.pos.Y = 2*m.h - m.pos.Y
+		m.direction = -m.direction
+	}
+	return m.pos
+}
+
+// --- Helpers ---------------------------------------------------------------------
+
+// Static is a degenerate model for fixed infrastructure sensors.
+type Static struct{ P Point }
+
+// Pos returns the fixed position.
+func (s Static) Pos() Point { return s.P }
+
+// Step returns the fixed position.
+func (s Static) Step(dt float64) Point { return s.P }
+
+// GridIndex maps a continuous position in a w×h area to the column-stacked
+// grid index of a gridW×gridH field (the grid point the node's local
+// measurement represents). Positions on the boundary clamp inward.
+func GridIndex(p Point, w, h float64, gridW, gridH int) int {
+	col := int(p.X / w * float64(gridW))
+	row := int(p.Y / h * float64(gridH))
+	if col >= gridW {
+		col = gridW - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if row >= gridH {
+		row = gridH - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	return col*gridH + row
+}

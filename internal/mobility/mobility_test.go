@@ -1,0 +1,164 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewRandomWaypoint(rng, 100, 50, 1, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		p := m.Step(0.5)
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 50 {
+			t.Fatalf("step %d out of bounds: %+v", i, p)
+		}
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, _ := NewRandomWaypoint(rng, 100, 100, 2, 2, 0)
+	start := m.Pos()
+	moved := 0.0
+	prev := start
+	for i := 0; i < 100; i++ {
+		p := m.Step(1)
+		moved += math.Hypot(p.X-prev.X, p.Y-prev.Y)
+		prev = p
+	}
+	// At fixed speed 2 with no pause, total path length ≈ 200.
+	if moved < 150 {
+		t.Fatalf("moved only %v over 100 s at speed 2", moved)
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := NewRandomWaypoint(rng, 10, 10, 100, 100, 5)
+	// Speed so high the node arrives within one step, then pauses 5 s.
+	m.Step(1)
+	p1 := m.Pos()
+	p2 := m.Step(1) // within the 5 s pause
+	if p1 != p2 {
+		t.Fatalf("node moved during pause: %+v → %+v", p1, p2)
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := NewRandomWaypoint(rng, 0, 10, 1, 2, 0); err == nil {
+		t.Fatal("want area error")
+	}
+	if _, err := NewRandomWaypoint(rng, 10, 10, 0, 2, 0); err == nil {
+		t.Fatal("want speed error")
+	}
+	if _, err := NewRandomWaypoint(rng, 10, 10, 3, 2, 0); err == nil {
+		t.Fatal("want min>max error")
+	}
+}
+
+func TestGaussMarkovStaysInBoundsAndMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewGaussMarkov(rng, 60, 40, 0.8, 1.5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := m.Pos()
+	maxDisp := 0.0
+	for i := 0; i < 3000; i++ {
+		p := m.Step(0.5)
+		if p.X < -1e-9 || p.X > 60+1e-9 || p.Y < -1e-9 || p.Y > 40+1e-9 {
+			t.Fatalf("out of bounds at step %d: %+v", i, p)
+		}
+		if d := math.Hypot(p.X-start.X, p.Y-start.Y); d > maxDisp {
+			maxDisp = d
+		}
+	}
+	if maxDisp < 5 {
+		t.Fatalf("node barely moved: max displacement %v", maxDisp)
+	}
+}
+
+func TestGaussMarkovValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewGaussMarkov(rng, 0, 10, 0.5, 1, 0.1); err == nil {
+		t.Fatal("want area error")
+	}
+	if _, err := NewGaussMarkov(rng, 10, 10, 1.5, 1, 0.1); err == nil {
+		t.Fatal("want alpha error")
+	}
+	if _, err := NewGaussMarkov(rng, 10, 10, 0.5, 0, 0.1); err == nil {
+		t.Fatal("want speed error")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{P: Point{X: 3, Y: 4}}
+	if s.Pos() != s.Step(100) {
+		t.Fatal("static sensor moved")
+	}
+}
+
+func TestGridIndexCorners(t *testing.T) {
+	// 10×10 area onto a 4-wide × 5-high grid.
+	if GridIndex(Point{X: 0, Y: 0}, 10, 10, 4, 5) != 0 {
+		t.Fatal("origin should map to index 0")
+	}
+	// Far corner clamps to last column/row: col 3, row 4 → 3*5+4 = 19.
+	if got := GridIndex(Point{X: 10, Y: 10}, 10, 10, 4, 5); got != 19 {
+		t.Fatalf("far corner index %d, want 19", got)
+	}
+	// Out-of-bounds positions clamp.
+	if got := GridIndex(Point{X: -5, Y: 100}, 10, 10, 4, 5); got != 4 {
+		t.Fatalf("clamped index %d, want 4", got)
+	}
+}
+
+// Property: GridIndex is always a valid field index for in-area points.
+func TestPropGridIndexValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gw, gh := 1+rng.Intn(16), 1+rng.Intn(16)
+		p := Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		idx := GridIndex(p, 10, 10, gw, gh)
+		return idx >= 0 && idx < gw*gh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random-waypoint trajectories are deterministic under a seed.
+func TestPropWaypointDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		m1, err := NewRandomWaypoint(rand.New(rand.NewSource(seed)), 50, 50, 1, 4, 1)
+		if err != nil {
+			return false
+		}
+		m2, _ := NewRandomWaypoint(rand.New(rand.NewSource(seed)), 50, 50, 1, 4, 1)
+		for i := 0; i < 50; i++ {
+			if m1.Step(0.7) != m2.Step(0.7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGaussMarkovStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m, _ := NewGaussMarkov(rng, 100, 100, 0.8, 1.5, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Step(0.5)
+	}
+}

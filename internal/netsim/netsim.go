@@ -1,0 +1,240 @@
+// Package netsim is the simulated transport substrate: an in-process
+// message network with per-link loss and latency bookkeeping and — the
+// part the evaluation leans on — exact per-node transmission and byte
+// accounting. The paper's O(N²)→O(NM) transmission claim (after Luo et
+// al.) is about how many radio sends the gathering scheme needs, which the
+// counters here measure directly.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Message is one datagram between simulated nodes.
+type Message struct {
+	From, To string
+	Topic    string
+	Payload  []byte
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// Link describes one directed link's quality.
+type Link struct {
+	LatencyMS float64 // recorded, not slept: simulation time bookkeeping
+	LossProb  float64 // [0,1]
+}
+
+// Stats is a snapshot of one node's traffic counters.
+type Stats struct {
+	TxMessages, RxMessages int
+	TxBytes, RxBytes       int
+	Dropped                int
+}
+
+// Network is an in-process simulated network. All methods are safe for
+// concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers map[string]Handler
+	links    map[string]Link // key "from→to"
+	stats    map[string]*Stats
+	defLink  Link
+	simTime  float64 // accumulated virtual latency across delivered messages
+}
+
+// ErrUnknownNode reports a send to an unregistered node.
+var ErrUnknownNode = errors.New("netsim: unknown node")
+
+// New returns an empty network; seed makes loss deterministic.
+func New(seed int64) *Network {
+	return &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make(map[string]Handler),
+		links:    make(map[string]Link),
+		stats:    make(map[string]*Stats),
+	}
+}
+
+// Register adds a node with its delivery handler (nil for a sink that
+// just counts).
+func (n *Network) Register(id string, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; ok {
+		return fmt.Errorf("netsim: node %q already registered", id)
+	}
+	n.handlers[id] = h
+	n.stats[id] = &Stats{}
+	return nil
+}
+
+// SetDefaultLink sets the link quality used when no explicit link exists.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	n.defLink = l
+	n.mu.Unlock()
+}
+
+// SetLink sets a directed link's quality.
+func (n *Network) SetLink(from, to string, l Link) {
+	n.mu.Lock()
+	n.links[from+"→"+to] = l
+	n.mu.Unlock()
+}
+
+// Send delivers a message, applying link loss and counting traffic. The
+// transmission is charged to the sender even if the message is lost (the
+// radio still spent the energy). Delivery is synchronous.
+func (n *Network) Send(msg Message) error {
+	n.mu.Lock()
+	if _, ok := n.handlers[msg.From]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: sender %q", ErrUnknownNode, msg.From)
+	}
+	h, ok := n.handlers[msg.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: receiver %q", ErrUnknownNode, msg.To)
+	}
+	link, ok := n.links[msg.From+"→"+msg.To]
+	if !ok {
+		link = n.defLink
+	}
+	size := len(msg.Payload)
+	tx := n.stats[msg.From]
+	tx.TxMessages++
+	tx.TxBytes += size
+	if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
+		tx.Dropped++
+		n.mu.Unlock()
+		return nil // lost in transit; not an error
+	}
+	rx := n.stats[msg.To]
+	rx.RxMessages++
+	rx.RxBytes += size
+	n.simTime += link.LatencyMS
+	n.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+	return nil
+}
+
+// SetDuplexLink sets both directions of a link to the same quality.
+func (n *Network) SetDuplexLink(a, b string, l Link) {
+	n.SetLink(a, b, l)
+	n.SetLink(b, a, l)
+}
+
+// Broadcast sends the payload from one node to every other registered
+// node, returning how many transmissions were attempted. Loss applies per
+// receiver independently.
+func (n *Network) Broadcast(from, topic string, payload []byte) (int, error) {
+	n.mu.Lock()
+	if _, ok := n.handlers[from]; !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: sender %q", ErrUnknownNode, from)
+	}
+	targets := make([]string, 0, len(n.handlers))
+	for id := range n.handlers {
+		if id != from {
+			targets = append(targets, id)
+		}
+	}
+	n.mu.Unlock()
+	sort.Strings(targets) // deterministic delivery order
+	for _, to := range targets {
+		if err := n.Send(Message{From: from, To: to, Topic: topic, Payload: payload}); err != nil {
+			return 0, err
+		}
+	}
+	return len(targets), nil
+}
+
+// NodeStats returns a copy of a node's counters.
+func (n *Network) NodeStats(id string) (Stats, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.stats[id]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	return *s, nil
+}
+
+// Totals sums the counters across all nodes.
+func (n *Network) Totals() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var t Stats
+	for _, s := range n.stats {
+		t.TxMessages += s.TxMessages
+		t.RxMessages += s.RxMessages
+		t.TxBytes += s.TxBytes
+		t.RxBytes += s.RxBytes
+		t.Dropped += s.Dropped
+	}
+	return t
+}
+
+// MaxTx returns the node with the highest transmit count and that count —
+// the bottleneck metric for the Fig. 1 hierarchy experiment.
+func (n *Network) MaxTx() (string, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]string, 0, len(n.stats))
+	for id := range n.stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic tie-break
+	best, bestN := "", -1
+	for _, id := range ids {
+		if n.stats[id].TxMessages > bestN {
+			best, bestN = id, n.stats[id].TxMessages
+		}
+	}
+	return best, bestN
+}
+
+// MaxRx returns the node with the highest receive count and that count.
+func (n *Network) MaxRx() (string, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]string, 0, len(n.stats))
+	for id := range n.stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	best, bestN := "", -1
+	for _, id := range ids {
+		if n.stats[id].RxMessages > bestN {
+			best, bestN = id, n.stats[id].RxMessages
+		}
+	}
+	return best, bestN
+}
+
+// SimTimeMS returns the accumulated virtual latency of all delivered
+// messages.
+func (n *Network) SimTimeMS() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.simTime
+}
+
+// ResetStats zeros all counters, keeping topology.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	for id := range n.stats {
+		n.stats[id] = &Stats{}
+	}
+	n.simTime = 0
+	n.mu.Unlock()
+}

@@ -1,0 +1,359 @@
+// Package node implements the mobile-node runtime of the SenseDroid
+// middleware — the "thin client" of the paper's Fig. 2. A Node owns its
+// sensing probes, privacy policy, energy meter/battery and mobility model,
+// serves the broker's measure-on-demand commands over the NanoCloud bus,
+// logs readings locally, and runs temporal-compressive context processing
+// on-device.
+package node
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/contextproc"
+	"repro/internal/energy"
+	"repro/internal/mobility"
+	"repro/internal/privacy"
+	"repro/internal/sensor"
+	"repro/internal/store"
+)
+
+// Environment supplies the physical ground truth a node's field sensors
+// observe — in a deployment this is the real world; in this reproduction
+// it is backed by a synthetic field.Field.
+type Environment interface {
+	// FieldValue returns the true value of the sensed quantity at a grid
+	// index (column-stacked, Eq. 1 convention).
+	FieldValue(kind sensor.Kind, gridIdx int) float64
+	// GridDims returns the field grid dimensions (w, h).
+	GridDims() (w, h int)
+	// AreaDims returns the physical area dimensions the mobility models
+	// roam over.
+	AreaDims() (w, h float64)
+}
+
+// Config configures one node.
+type Config struct {
+	ID      string
+	Seed    int64
+	Profile sensor.DeviceProfile
+	Motion  sensor.MotionScenario
+	Indoor  sensor.Schedule
+	Radio   energy.RadioKind
+	Battery float64 // capacity in mJ; 0 = default 4e7 (a ~40 kJ phone pack)
+}
+
+// Node is one simulated handset participating in a NanoCloud.
+type Node struct {
+	ID      string
+	Probes  *sensor.Registry
+	Policy  *privacy.Policy
+	Meter   *energy.Meter
+	Battery *energy.Battery
+	Radio   energy.RadioKind
+	Store   *store.Store
+
+	env      Environment
+	mobility mobility.Model
+	rng      *rand.Rand
+
+	mu   sync.Mutex
+	subs []*bus.Subscription
+}
+
+// New builds a node with the full standard probe complement.
+func New(cfg Config, env Environment, mob mobility.Model) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("node: empty ID")
+	}
+	if env == nil {
+		return nil, errors.New("node: nil environment")
+	}
+	if mob == nil {
+		return nil, errors.New("node: nil mobility model")
+	}
+	if cfg.Motion == "" {
+		cfg.Motion = sensor.MotionIdle
+	}
+	if cfg.Indoor == nil {
+		cfg.Indoor = sensor.AlternatingSchedule(0)
+	}
+	if cfg.Radio == "" {
+		cfg.Radio = energy.RadioWiFi
+	}
+	if cfg.Battery <= 0 {
+		cfg.Battery = 4e7
+	}
+	probes, err := sensor.StandardPhone(cfg.ID, cfg.Seed, cfg.Profile, cfg.Motion, cfg.Indoor)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		ID:      cfg.ID,
+		Probes:  probes,
+		Policy:  privacy.AllowAll(sensor.Accelerometer, sensor.Temperature, sensor.GPS, sensor.WiFi, sensor.Light, sensor.Humidity, sensor.Barometer, sensor.Microphone),
+		Meter:   energy.NewMeter(nil),
+		Battery: energy.NewBattery(cfg.Battery),
+		Radio:   cfg.Radio,
+		Store:   store.New(4096),
+		env:     env, mobility: mob,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}, nil
+}
+
+// Move advances the node's mobility model by dt seconds.
+func (n *Node) Move(dt float64) mobility.Point {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mobility.Step(dt)
+}
+
+// GridIndex returns the field grid cell the node currently occupies.
+func (n *Node) GridIndex() int {
+	n.mu.Lock()
+	p := n.mobility.Pos()
+	n.mu.Unlock()
+	aw, ah := n.env.AreaDims()
+	gw, gh := n.env.GridDims()
+	return mobility.GridIndex(p, aw, ah, gw, gh)
+}
+
+// FieldReading is one shared field measurement.
+type FieldReading struct {
+	NodeID  string  `json:"nodeId"`
+	GridIdx int     `json:"gridIdx"`
+	Value   float64 `json:"value"`
+	Sigma   float64 `json:"sigma"`  // the node's noise std-dev for GLS weighting
+	Denied  bool    `json:"denied"` // privacy policy refused to share
+}
+
+// MeasureField samples the environment field with the named probe kind at
+// the node's current location, charging the battery and applying the
+// privacy policy. The sensing happens regardless of policy (the user sees
+// their own data); only *sharing* is gated.
+func (n *Node) MeasureField(kind sensor.Kind) (FieldReading, error) {
+	probes := n.Probes.ByKind(kind)
+	if len(probes) == 0 {
+		return FieldReading{}, fmt.Errorf("node %s: no probe of kind %q", n.ID, kind)
+	}
+	p := probes[0]
+	idx := n.GridIndex()
+	sigma := p.NoiseSigma()
+	n.mu.Lock()
+	noise := n.rng.NormFloat64() * sigma
+	n.mu.Unlock()
+	truth := n.env.FieldValue(kind, idx)
+	value := truth + noise
+	if err := n.Meter.ChargeSamples(kind, 1); err != nil {
+		return FieldReading{}, err
+	}
+	_ = n.Battery.Drain(0.01) // sampling overhead; depletion checked by caller
+	_ = n.Store.AppendScalar(fmt.Sprintf("%s/%s", n.ID, kind), 0, value)
+	shared, ok := n.Policy.Filter(kind, []float64{value})
+	if !ok {
+		return FieldReading{NodeID: n.ID, GridIdx: idx, Denied: true}, nil
+	}
+	return FieldReading{NodeID: n.ID, GridIdx: idx, Value: shared[0], Sigma: sigma}, nil
+}
+
+// --- Bus protocol -------------------------------------------------------------
+
+// MeasureRequest is the broker's measure-on-demand command.
+type MeasureRequest struct {
+	Kind string `json:"kind"`
+}
+
+// PositionReply answers a position query.
+type PositionReply struct {
+	NodeID  string `json:"nodeId"`
+	GridIdx int    `json:"gridIdx"`
+}
+
+// StatusReply answers a status query: where the node is and how much
+// battery it has left — the inputs to battery-aware duty scheduling.
+type StatusReply struct {
+	NodeID      string  `json:"nodeId"`
+	GridIdx     int     `json:"gridIdx"`
+	BatteryFrac float64 `json:"batteryFrac"`
+	EnergyMJ    float64 `json:"energyMJ"` // meter total so far
+}
+
+// MeasureTopic returns the node's measure-command topic on an NC bus.
+func MeasureTopic(ncID, nodeID string) string {
+	return fmt.Sprintf("%s/node/%s/measure", ncID, nodeID)
+}
+
+// PositionTopic returns the node's position-query topic.
+func PositionTopic(ncID, nodeID string) string {
+	return fmt.Sprintf("%s/node/%s/position", ncID, nodeID)
+}
+
+// StatusTopic returns the node's status-query topic.
+func StatusTopic(ncID, nodeID string) string {
+	return fmt.Sprintf("%s/node/%s/status", ncID, nodeID)
+}
+
+// AttachBus subscribes the node's command handlers on the NanoCloud bus.
+// Radio reception/transmission energy for each served request is charged
+// to the node's meter.
+func (n *Node) AttachBus(b *bus.Bus, ncID string) error {
+	measure, err := b.Subscribe(MeasureTopic(ncID, n.ID), 16)
+	if err != nil {
+		return err
+	}
+	position, err := b.Subscribe(PositionTopic(ncID, n.ID), 16)
+	if err != nil {
+		return err
+	}
+	status, err := b.Subscribe(StatusTopic(ncID, n.ID), 16)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.subs = append(n.subs, measure, position, status)
+	n.mu.Unlock()
+	go n.serve(b, measure, n.handleMeasure)
+	go n.serve(b, position, n.handlePosition)
+	go n.serve(b, status, n.handleStatus)
+	return nil
+}
+
+// Detach unsubscribes all bus handlers.
+func (n *Node) Detach() {
+	n.mu.Lock()
+	subs := n.subs
+	n.subs = nil
+	n.mu.Unlock()
+	for _, s := range subs {
+		s.Unsubscribe()
+	}
+}
+
+// serve decodes request envelopes from sub and replies with fn's result.
+func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (any, error)) {
+	for msg := range sub.C {
+		var env struct {
+			ReplyTo string          `json:"replyTo"`
+			Body    json.RawMessage `json:"body"`
+		}
+		if err := json.Unmarshal(msg.Payload, &env); err != nil {
+			continue
+		}
+		_ = n.Meter.ChargeRx(n.Radio, len(msg.Payload))
+		reply, err := fn(env.Body)
+		if err != nil || env.ReplyTo == "" {
+			continue
+		}
+		raw, err := json.Marshal(reply)
+		if err != nil {
+			continue
+		}
+		_ = n.Meter.ChargeTx(n.Radio, len(raw))
+		_ = b.Publish(env.ReplyTo, raw)
+	}
+}
+
+func (n *Node) handleMeasure(body []byte) (any, error) {
+	var req MeasureRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	return n.MeasureField(sensor.Kind(req.Kind))
+}
+
+func (n *Node) handlePosition([]byte) (any, error) {
+	return PositionReply{NodeID: n.ID, GridIdx: n.GridIndex()}, nil
+}
+
+func (n *Node) handleStatus([]byte) (any, error) {
+	return StatusReply{
+		NodeID: n.ID, GridIdx: n.GridIndex(),
+		BatteryFrac: n.Battery.FractionRemaining(),
+		EnergyMJ:    n.Meter.TotalMJ(),
+	}, nil
+}
+
+// --- On-device context processing ----------------------------------------------
+
+// ContextReport is the node's shared context snapshot (already
+// privacy-filtered: it carries derived context, not raw samples — itself a
+// privacy measure).
+type ContextReport struct {
+	NodeID   string               `json:"nodeId"`
+	Activity contextproc.Activity `json:"activity"`
+	Indoor   bool                 `json:"indoor"`
+	Stress   float64              `json:"stress"`
+}
+
+// SenseContext runs the node's context determination: it collects an
+// accelerometer window (optionally via the temporal-compressive pipeline
+// to save energy), classifies activity, derives IsIndoor from single GPS +
+// WiFi probes, and estimates stress from the microphone level.
+//
+// When pipe is non-nil only pipe.M of the window's samples are charged to
+// the battery — the compressive duty cycle.
+func (n *Node) SenseContext(windowLen int, rateHz float64, pipe *contextproc.Pipeline) (ContextReport, error) {
+	accels := n.Probes.ByKind(sensor.Accelerometer)
+	if len(accels) == 0 {
+		return ContextReport{}, fmt.Errorf("node %s: no accelerometer", n.ID)
+	}
+	window, err := accels[0].CollectAxis(windowLen, 2)
+	if err != nil {
+		return ContextReport{}, err
+	}
+	var act contextproc.Activity
+	if pipe != nil {
+		if err := n.Meter.ChargeSamples(sensor.Accelerometer, pipe.M); err != nil {
+			return ContextReport{}, err
+		}
+		n.mu.Lock()
+		rng := rand.New(rand.NewSource(n.rng.Int63()))
+		n.mu.Unlock()
+		xhat, _, err := pipe.Reconstruct(window, rng)
+		if err != nil {
+			return ContextReport{}, err
+		}
+		f, err := contextproc.Extract(xhat, rateHz)
+		if err != nil {
+			return ContextReport{}, err
+		}
+		act = contextproc.ClassifyActivity(f)
+	} else {
+		if err := n.Meter.ChargeSamples(sensor.Accelerometer, windowLen); err != nil {
+			return ContextReport{}, err
+		}
+		f, err := contextproc.Extract(window, rateHz)
+		if err != nil {
+			return ContextReport{}, err
+		}
+		act = contextproc.ClassifyActivity(f)
+	}
+	// IsIndoor from one GPS fix + one WiFi scan.
+	var envReading contextproc.EnvReading
+	if gps := n.Probes.ByKind(sensor.GPS); len(gps) > 0 {
+		s := gps[0].Next()
+		envReading.GPSSatellites, envReading.GPSAccuracyM = s.Values[0], s.Values[1]
+		_ = n.Meter.ChargeSamples(sensor.GPS, 1)
+	}
+	if wifi := n.Probes.ByKind(sensor.WiFi); len(wifi) > 0 {
+		s := wifi[0].Next()
+		envReading.WiFiRSSIdBm, envReading.WiFiAPCount = s.Values[0], s.Values[1]
+		_ = n.Meter.ChargeSamples(sensor.WiFi, 1)
+	}
+	stress := 0.0
+	if mic := n.Probes.ByKind(sensor.Microphone); len(mic) > 0 {
+		s := mic[0].Next()
+		_ = n.Meter.ChargeSamples(sensor.Microphone, 1)
+		stress = contextproc.StressIndex(s.Values[0], act)
+	}
+	return ContextReport{
+		NodeID:   n.ID,
+		Activity: act,
+		Indoor:   contextproc.IsIndoor(envReading),
+		Stress:   stress,
+	}, nil
+}

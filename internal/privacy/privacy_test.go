@@ -1,0 +1,120 @@
+package privacy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sensor"
+)
+
+func TestDenyByDefault(t *testing.T) {
+	p := NewPolicy()
+	if p.Allows(sensor.GPS) {
+		t.Fatal("zero policy must deny")
+	}
+	if _, ok := p.Filter(sensor.GPS, []float64{1}); ok {
+		t.Fatal("filter should deny")
+	}
+}
+
+func TestAllowAndOptOut(t *testing.T) {
+	p := AllowAll(sensor.Temperature, sensor.Accelerometer)
+	if !p.Allows(sensor.Temperature) || p.Allows(sensor.GPS) {
+		t.Fatal("AllowAll scope wrong")
+	}
+	p.SetOptOut(true)
+	if p.Allows(sensor.Temperature) {
+		t.Fatal("opt-out must override per-sensor allows")
+	}
+	if !p.OptedOut() {
+		t.Fatal("OptedOut not reported")
+	}
+	p.SetOptOut(false)
+	if !p.Allows(sensor.Temperature) {
+		t.Fatal("opt-out should be reversible")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	p := AllowAll(sensor.GPS)
+	p.SetQuantize(sensor.GPS, 0.5)
+	vals, ok := p.Filter(sensor.GPS, []float64{1.26, -0.24})
+	if !ok {
+		t.Fatal("share denied")
+	}
+	if vals[0] != 1.5 || vals[1] != 0 {
+		t.Fatalf("quantized %v", vals)
+	}
+	// Input must not be mutated.
+	in := []float64{1.26}
+	p.Filter(sensor.GPS, in)
+	if in[0] != 1.26 {
+		t.Fatal("input mutated")
+	}
+	// Disable quantization.
+	p.SetQuantize(sensor.GPS, 0)
+	vals, _ = p.Filter(sensor.GPS, []float64{1.26})
+	if vals[0] != 1.26 {
+		t.Fatal("quantization not removed")
+	}
+}
+
+func TestCrypterRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c, err := NewCrypter(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("temperature=21.5 zone=3")
+	blob, err := c.Seal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, plain) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	got, err := c.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatalf("round trip got %q", got)
+	}
+	// Nonces are random: two seals differ.
+	blob2, _ := c.Seal(plain)
+	if bytes.Equal(blob, blob2) {
+		t.Fatal("nonce reuse")
+	}
+}
+
+func TestCrypterTamperDetection(t *testing.T) {
+	c, _ := NewCrypter(make([]byte, 16))
+	blob, _ := c.Seal([]byte("data"))
+	blob[len(blob)-1] ^= 0xff
+	if _, err := c.Open(blob); err == nil {
+		t.Fatal("tampering not detected")
+	}
+	if _, err := c.Open([]byte("short")); err == nil {
+		t.Fatal("short ciphertext not rejected")
+	}
+}
+
+func TestCrypterBadKey(t *testing.T) {
+	if _, err := NewCrypter(make([]byte, 10)); err == nil {
+		t.Fatal("bad key size accepted")
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	c1, _ := NewCrypter(make([]byte, 16))
+	k2 := make([]byte, 16)
+	k2[0] = 1
+	c2, _ := NewCrypter(k2)
+	blob, _ := c1.Seal([]byte("secret"))
+	if _, err := c2.Open(blob); err == nil {
+		t.Fatal("wrong key decrypted")
+	}
+}

@@ -1,0 +1,417 @@
+// Package query implements SenseDroid's on-demand query and filtering
+// layer: a small predicate expression language compiled once and evaluated
+// against live sensor/context records, so collaborating users receive
+// "only the relevant information".
+//
+// Expressions support numeric/string/bool fields, comparisons
+// (== != < <= > >=), boolean connectives (&& || !), and parentheses:
+//
+//	temp > 30 && zone == 2
+//	activity == 'driving' || (stress >= 0.7 && indoor)
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Env supplies field values during evaluation. Supported value types:
+// float64, int (converted), string, bool.
+type Env map[string]any
+
+// Filter is a compiled predicate.
+type Filter struct {
+	root node
+	src  string
+}
+
+// Source returns the original expression text.
+func (f *Filter) Source() string { return f.src }
+
+// ErrEval reports a type error or missing field during evaluation.
+var ErrEval = errors.New("query: evaluation error")
+
+// Compile parses an expression into a reusable filter.
+func Compile(src string) (*Filter, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("query: unexpected %q at end of expression", p.toks[p.pos].text)
+	}
+	return &Filter{root: root, src: src}, nil
+}
+
+// Eval evaluates the filter against an environment.
+func (f *Filter) Eval(env Env) (bool, error) {
+	v, err := f.root.eval(env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%w: expression is not boolean (got %T)", ErrEval, v)
+	}
+	return b, nil
+}
+
+// --- Lexer -------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp // == != < <= > >= && || !
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j]})
+			i = j + 1
+		case strings.ContainsRune("=!<>&|", rune(c)):
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{kind: tokOp, text: two})
+				i += 2
+			default:
+				switch c {
+				case '<', '>', '!':
+					toks = append(toks, token{kind: tokOp, text: string(c)})
+					i++
+				default:
+					return nil, fmt.Errorf("query: bad operator at offset %d", i)
+				}
+			}
+		case c >= '0' && c <= '9' || c == '.' || c == '-':
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				(j > i && (src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			n, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q: %w", src[i:j], err)
+			}
+			toks = append(toks, token{kind: tokNumber, num: n, text: src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
+				src[j] == '_' || src[j] == '.' || src[j] == '/') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, errors.New("query: empty expression")
+	}
+	return toks, nil
+}
+
+// --- Parser ------------------------------------------------------------------
+
+type node interface {
+	eval(env Env) (any, error)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if t, ok := p.peek(); ok && t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "||", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOp, "&&") {
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "&&", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCmp() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok && t.kind == tokOp {
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &binNode{op: t.text, l: left, r: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.accept(tokOp, "!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (node, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, errors.New("query: unexpected end of expression")
+	}
+	switch t.kind {
+	case tokLParen:
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen, "") {
+			return nil, errors.New("query: missing ')'")
+		}
+		return inner, nil
+	case tokNumber:
+		p.pos++
+		return &litNode{t.num}, nil
+	case tokString:
+		p.pos++
+		return &litNode{t.text}, nil
+	case tokIdent:
+		p.pos++
+		switch t.text {
+		case "true":
+			return &litNode{true}, nil
+		case "false":
+			return &litNode{false}, nil
+		}
+		return &fieldNode{t.text}, nil
+	default:
+		return nil, fmt.Errorf("query: unexpected token %q", t.text)
+	}
+}
+
+// --- Evaluation ----------------------------------------------------------------
+
+type litNode struct{ v any }
+
+func (n *litNode) eval(Env) (any, error) { return n.v, nil }
+
+type fieldNode struct{ name string }
+
+func (n *fieldNode) eval(env Env) (any, error) {
+	v, ok := env[n.name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown field %q", ErrEval, n.name)
+	}
+	switch x := v.(type) {
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case float64, string, bool:
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported field type %T for %q", ErrEval, v, n.name)
+	}
+}
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(env Env) (any, error) {
+	v, err := n.inner.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("%w: ! applied to non-boolean %T", ErrEval, v)
+	}
+	return !b, nil
+}
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n *binNode) eval(env Env) (any, error) {
+	lv, err := n.l.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit logical operators.
+	if n.op == "&&" || n.op == "||" {
+		lb, ok := lv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s applied to non-boolean %T", ErrEval, n.op, lv)
+		}
+		if n.op == "&&" && !lb {
+			return false, nil
+		}
+		if n.op == "||" && lb {
+			return true, nil
+		}
+		rv, err := n.r.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s applied to non-boolean %T", ErrEval, n.op, rv)
+		}
+		return rb, nil
+	}
+	rv, err := n.r.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	return compare(n.op, lv, rv)
+}
+
+func compare(op string, l, r any) (any, error) {
+	switch lv := l.(type) {
+	case float64:
+		rvf, ok := r.(float64)
+		if !ok {
+			return nil, fmt.Errorf("%w: comparing number with %T", ErrEval, r)
+		}
+		switch op {
+		case "==":
+			return lv == rvf, nil
+		case "!=":
+			return lv != rvf, nil
+		case "<":
+			return lv < rvf, nil
+		case "<=":
+			return lv <= rvf, nil
+		case ">":
+			return lv > rvf, nil
+		case ">=":
+			return lv >= rvf, nil
+		}
+	case string:
+		rvs, ok := r.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: comparing string with %T", ErrEval, r)
+		}
+		switch op {
+		case "==":
+			return lv == rvs, nil
+		case "!=":
+			return lv != rvs, nil
+		case "<":
+			return lv < rvs, nil
+		case "<=":
+			return lv <= rvs, nil
+		case ">":
+			return lv > rvs, nil
+		case ">=":
+			return lv >= rvs, nil
+		}
+	case bool:
+		rvb, ok := r.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: comparing bool with %T", ErrEval, r)
+		}
+		switch op {
+		case "==":
+			return lv == rvb, nil
+		case "!=":
+			return lv != rvb, nil
+		default:
+			return nil, fmt.Errorf("%w: ordering not defined on booleans", ErrEval)
+		}
+	}
+	return nil, fmt.Errorf("%w: cannot compare %T %s %T", ErrEval, l, op, r)
+}

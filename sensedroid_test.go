@@ -1,0 +1,123 @@
+package sensedroid
+
+import "testing"
+
+// TestPublicAPIEndToEnd drives the full middleware through the public
+// façade only: deploy, install truth, campaign, inspect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sd, err := New(Options{
+		FieldW: 16, FieldH: 16, ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+
+	truth := GenPlumes(16, 16, 10, []Plume{{Row: 5, Col: 11, Sigma: 2.5, Amplitude: 25}})
+	if err := sd.SetTruth(truth); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sd.RunCampaign(CampaignConfig{TotalM: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalNMSE > 0.05 {
+		t.Fatalf("NMSE %v", res.GlobalNMSE)
+	}
+	r, c, _ := res.Reconstructed.MaxLoc()
+	if (r-5)*(r-5)+(c-11)*(c-11) > 4 {
+		t.Fatalf("hotspot at (%d,%d), truth (5,11)", r, c)
+	}
+	// Adaptive follow-up reusing the first reconstruction as the prior —
+	// the intended steady-state usage pattern.
+	res2, err := sd.RunCampaign(CampaignConfig{
+		TotalM: 90, Adaptive: true, Prior: res.Reconstructed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.GlobalNMSE > 0.1 {
+		t.Fatalf("adaptive follow-up NMSE %v", res2.GlobalNMSE)
+	}
+}
+
+func TestNewFieldHelper(t *testing.T) {
+	f := NewField(4, 6)
+	if f.W != 4 || f.H != 6 || f.N() != 24 {
+		t.Fatalf("field %dx%d", f.H, f.W)
+	}
+}
+
+// TestDayInTheLife exercises the whole middleware in one scenario: deploy,
+// publish contexts, query them, run a spatial campaign, log zone summaries,
+// run a temporal campaign over an evolving field, and check the books
+// (energy, traffic, directory) at the end.
+func TestDayInTheLife(t *testing.T) {
+	sd, err := New(Options{
+		FieldW: 16, FieldH: 16, ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 3, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+
+	// Morning: everyone shares context; the wellness dashboard queries it.
+	if _, err := sd.PublishContexts(256, 64); err != nil {
+		t.Fatal(err)
+	}
+	active, err := sd.QueryContexts("activity == 'walking' && stress < 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(active) == 0 {
+		t.Fatal("no active members found")
+	}
+
+	// Midday: a hotspot appears; spatial campaign maps it.
+	truth := GenPlumes(16, 16, 18, []Plume{{Row: 9, Col: 4, Sigma: 2.2, Amplitude: 22}})
+	if err := sd.SetTruth(truth); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sd.RunCampaign(CampaignConfig{TotalM: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalNMSE > 0.05 {
+		t.Fatalf("midday campaign NMSE %v", res.GlobalNMSE)
+	}
+
+	// Afternoon: the hotspot drifts; temporal campaign tracks it jointly.
+	evolve := func(step int) *Field {
+		return GenPlumes(16, 16, 18, []Plume{{
+			Row: 9 + 0.5*float64(step), Col: 4 + 0.4*float64(step),
+			Sigma: 2.2, Amplitude: 22,
+		}})
+	}
+	tres, err := sd.RunTemporalCampaign(TemporalCampaignConfig{
+		Steps: 4, TotalM: 48, Evolve: evolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.MeanNMSE > 0.1 {
+		t.Fatalf("temporal campaign NMSE %v", tres.MeanNMSE)
+	}
+
+	// Evening audit: the middleware kept its books.
+	if sd.BusBytes() == 0 {
+		t.Fatal("no bus traffic recorded")
+	}
+	if sd.TotalEnergyMJ() == 0 {
+		t.Fatal("no energy recorded")
+	}
+	if got := len(sd.Directory.ByKind("node")); got != len(sd.Nodes) {
+		t.Fatalf("directory lists %d nodes, want %d", got, len(sd.Nodes))
+	}
+	for _, n := range sd.Nodes {
+		if n.Battery.FractionRemaining() >= 1 {
+			t.Fatalf("node %s battery untouched after a full day", n.ID)
+		}
+	}
+}
