@@ -1,0 +1,115 @@
+package basis
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// The decode fast path asks for the same deterministic bases over and over
+// — every zone reconstruction in a campaign rebuilds its DCT Kron product,
+// every Fig-4-style sweep rebuilds the N-point DFT — each an O(N²)
+// (trigonometric) construction. Since a basis is fully determined by
+// (kind, size), the constructors are memoized here.
+//
+// Cached matrices are SHARED: callers must treat them as read-only. Every
+// in-repo consumer (analysis, synthesis, the cs decoders) only reads Φ.
+// Learned (PCA) bases depend on trace data, not just (kind, n), so they are
+// never cached here.
+
+const cacheCap = 64 // distinct (kind, size) entries; evicts arbitrarily past this
+
+type cacheKey struct {
+	kind Kind
+	h, w int // w == 0 for 1-D bases
+}
+
+var (
+	cacheMu sync.RWMutex
+	cache   = make(map[cacheKey]*mat.Matrix)
+)
+
+func cacheGet(k cacheKey) (*mat.Matrix, bool) {
+	cacheMu.RLock()
+	m, ok := cache[k]
+	cacheMu.RUnlock()
+	return m, ok
+}
+
+func cachePut(k cacheKey, m *mat.Matrix) {
+	cacheMu.Lock()
+	if len(cache) >= cacheCap {
+		for old := range cache {
+			delete(cache, old)
+			break
+		}
+	}
+	cache[k] = m
+	cacheMu.Unlock()
+}
+
+// Cached returns the shared, read-only n×n basis of the given kind,
+// constructing and memoizing it on first use. Two concurrent first calls
+// may both construct; one result wins the cache, both are valid.
+func Cached(kind Kind, n int) (*mat.Matrix, error) {
+	key := cacheKey{kind: kind, h: n}
+	if m, ok := cacheGet(key); ok {
+		return m, nil
+	}
+	m, err := New(kind, n)
+	if err != nil {
+		return nil, err
+	}
+	cachePut(key, m)
+	return m, nil
+}
+
+// Cached2D returns the shared, read-only separable 2-D basis
+// Kron2D(kind_h, kind_w) for an h-row × w-col field, memoized by
+// (kind, h, w). This is the per-zone basis every broker reconstruction
+// needs; memoizing it turns the O((h·w)²) Kron fill into a map lookup for
+// all campaigns after the first.
+func Cached2D(kind Kind, h, w int) (*mat.Matrix, error) {
+	key := cacheKey{kind: kind, h: h, w: w}
+	if m, ok := cacheGet(key); ok {
+		return m, nil
+	}
+	pr, err := Cached(kind, h)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := Cached(kind, w)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Kron2D(pr, pc)
+	if err != nil {
+		return nil, err
+	}
+	cachePut(key, m)
+	return m, nil
+}
+
+// CachedDCT is the memoized counterpart of DCT, preserving its no-error
+// contract for the experiment sweeps that build Φ inline.
+func CachedDCT(n int) *mat.Matrix {
+	if m, err := Cached(KindDCT, n); err == nil {
+		return m
+	}
+	return DCT(n)
+}
+
+// CachedDFT is the memoized counterpart of DFT.
+func CachedDFT(n int) *mat.Matrix {
+	if m, err := Cached(KindDFT, n); err == nil {
+		return m
+	}
+	return DFT(n)
+}
+
+// ResetCache drops all memoized bases (test isolation / memory pressure).
+func ResetCache() {
+	cacheMu.Lock()
+	cache = make(map[cacheKey]*mat.Matrix)
+	cacheMu.Unlock()
+}

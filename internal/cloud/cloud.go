@@ -11,6 +11,7 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/broker"
@@ -282,24 +283,70 @@ type ZoneReport struct {
 }
 
 // Assemble runs every LC's reconstruction under the budget plan and
-// stitches the zone subfields into the global estimate.
+// stitches the zone subfields into the global estimate. Zones are
+// independent — each LC owns its brokers, nodes, and RNG streams — so their
+// reconstructions fan out across min(zones, GOMAXPROCS) workers; results
+// are stitched in LC order afterwards, which keeps the assembled field and
+// reports identical to a serial run at any GOMAXPROCS.
 func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
-	global := field.New(pc.W, pc.H)
-	reports := make(map[int]*ZoneReport, len(pc.LCs))
-	for _, lc := range pc.LCs {
+	type zoneOut struct {
+		rec *broker.Reconstruction
+		m   int
+		err error
+	}
+	outs := make([]zoneOut, len(pc.LCs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pc.LCs) {
+		workers = len(pc.LCs)
+	}
+	reconstruct := func(i int) {
+		lc := pc.LCs[i]
 		z := lc.Env.Zone()
 		m, ok := plan[z.ID]
 		if !ok || m <= 0 {
-			return nil, nil, fmt.Errorf("cloud: no budget for zone %d", z.ID)
+			outs[i].err = fmt.Errorf("cloud: no budget for zone %d", z.ID)
+			return
 		}
 		rec, err := lc.Reconstruct(kind, m, opts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cloud: zone %d: %w", z.ID, err)
+			outs[i].err = fmt.Errorf("cloud: zone %d: %w", z.ID, err)
+			return
 		}
-		if err := field.Insert(global, z, rec.Field); err != nil {
+		outs[i] = zoneOut{rec: rec, m: m}
+	}
+	if workers <= 1 {
+		for i := range pc.LCs {
+			reconstruct(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					reconstruct(i)
+				}
+			}()
+		}
+		for i := range pc.LCs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	global := field.New(pc.W, pc.H)
+	reports := make(map[int]*ZoneReport, len(pc.LCs))
+	for i, lc := range pc.LCs {
+		if outs[i].err != nil {
+			return nil, nil, outs[i].err
+		}
+		z := lc.Env.Zone()
+		if err := field.Insert(global, z, outs[i].rec.Field); err != nil {
 			return nil, nil, err
 		}
-		reports[z.ID] = &ZoneReport{Zone: z, Reconstruction: rec, Budget: m}
+		reports[z.ID] = &ZoneReport{Zone: z, Reconstruction: outs[i].rec, Budget: outs[i].m}
 	}
 	return global, reports, nil
 }

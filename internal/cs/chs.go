@@ -81,29 +81,45 @@ func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, er
 		opts.Interp = ZeroFill(n)
 	}
 
-	// Step 1: J = ∅, e_r = x_S.
+	// Step 1: J = ∅, e_r = x_S. The growing-support OLS of step (e) is kept
+	// as an incrementally updated QR factorization: each admitted column is
+	// folded in with a rank-1 update and the sensor residual is deflated in
+	// O(M), instead of copying Φ̃_J and refactorizing from scratch every
+	// iteration. Coefficients are materialized once, after the loop.
 	resid := mat.CloneVec(y)
 	support := make([]int, 0, opts.MaxSupport)
 	inSupport := make([]bool, n)
-	var coef []float64
+	qr, err := mat.NewIncrementalQR(a.Rows, opts.MaxSupport)
+	if err != nil {
+		return nil, err
+	}
+	eNew := make([]float64, 0)
+	alphaR := make([]float64, n)
+	col := make([]float64, a.Rows)
 	iters := 0
 
+outer:
 	for iters < opts.MaxIter && len(support) < opts.MaxSupport {
 		if mat.Norm2(resid) <= opts.Tol {
 			break
 		}
 		iters++
 		// (a) e_new = Υ(e_r).
-		eNew, err := opts.Interp(locs, resid)
+		eNew, err = opts.Interp(locs, resid)
 		if err != nil {
 			return nil, err
 		}
 		// (b) α_r = Φ† e_new; Φ orthonormal ⇒ Φ† = Φᵀ.
-		alphaR, err := mat.MulTVec(phi, eNew)
-		if err != nil {
+		if err := mat.MulTVecInto(alphaR, phi, eNew); err != nil {
 			return nil, err
 		}
-		// (c–d) admit the PerIter most significant unused coefficients.
+		// (c–e) admit the PerIter most significant unused coefficients,
+		// folding each admitted column into the OLS factors. Support
+		// identification always uses the unweighted fit: a GLS fit inside
+		// the loop leaves large residual at the noisy sensors it
+		// deliberately under-weights, and the step-(b) scan would then
+		// admit atoms that chase that noise. The GLS weighting of Fig. 6
+		// step (e-ii) is applied once, on the final support, below.
 		added := 0
 		for added < opts.PerIter && len(support) < opts.MaxSupport {
 			best, bestJ := 0.0, -1
@@ -118,41 +134,27 @@ func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, er
 			if bestJ < 0 || best == 0 {
 				break
 			}
+			for i := 0; i < a.Rows; i++ {
+				col[i] = a.Data[i*a.Cols+bestJ]
+			}
+			if err := qr.Append(col); err != nil {
+				// Rank-deficient admission: the column adds nothing the
+				// factors don't already span. Keep the factorization as is
+				// and stop — no retraction solve needed.
+				break outer
+			}
 			support = append(support, bestJ)
 			inSupport[bestJ] = true
+			// (f) e_r = x_S − Φ̃_K α_K, maintained by deflating against the
+			// newly orthogonalized direction.
+			if _, err := qr.DeflateLatest(resid); err != nil {
+				return nil, err
+			}
 			added++
 		}
 		if added == 0 {
 			break // nothing significant left to admit
 		}
-		// (e) OLS on the growing support. Support identification always
-		// uses the unweighted fit: a GLS fit inside the loop leaves large
-		// residual at the noisy sensors it deliberately under-weights, and
-		// the step-(b) scan would then admit atoms that chase that noise.
-		// The GLS weighting of Fig. 6 step (e-ii) is applied once, on the
-		// final support, below.
-		sub, err := mat.SelectCols(a, support)
-		if err != nil {
-			return nil, err
-		}
-		coef, err = mat.LeastSquares(sub, y)
-		if err != nil {
-			// Rank-deficient support growth: retract the additions and stop.
-			support = support[:len(support)-added]
-			for j := range inSupport {
-				inSupport[j] = false
-			}
-			for _, j := range support {
-				inSupport[j] = true
-			}
-			break
-		}
-		// (f) e_r = x_S − Φ̃_K α_K.
-		pred, err := mat.MulVec(sub, coef)
-		if err != nil {
-			return nil, err
-		}
-		resid = mat.SubVec(y, pred)
 	}
 
 	if len(support) == 0 {
@@ -161,16 +163,9 @@ func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, er
 			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
 		}, nil
 	}
-	if coef == nil {
-		// Support was built but the final solve was retracted; re-solve.
-		sub, err := mat.SelectCols(a, support)
-		if err != nil {
-			return nil, err
-		}
-		coef, err = mat.LeastSquares(sub, y)
-		if err != nil {
-			return nil, err
-		}
+	coef, err := qr.Solve(y)
+	if err != nil {
+		return nil, err
 	}
 	// Fig. 6 step (e-ii): for heterogeneous sensors, refit the recovered
 	// support with the noise-covariance-weighted GLS estimate.

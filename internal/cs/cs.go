@@ -38,15 +38,6 @@ type Result struct {
 	Iterations int
 }
 
-// sensingMatrix returns Φ̃ = Φ(L, :), the M×N matrix of basis rows at the
-// sensor locations (paper Eq. 7 before column selection).
-func sensingMatrix(phi *mat.Matrix, locs []int) (*mat.Matrix, error) {
-	if len(locs) == 0 {
-		return nil, ErrNoMeasurements
-	}
-	return mat.SelectRows(phi, locs)
-}
-
 // reconstruct synthesizes Xhat = Φ·α restricted to the support.
 func reconstruct(phi *mat.Matrix, support []int, coef []float64) ([]float64, error) {
 	xhat := make([]float64, phi.Rows)
@@ -92,6 +83,12 @@ func packResult(phi *mat.Matrix, support []int, coef []float64, y []float64, a *
 // locations locs, using orthogonal matching pursuit (Tropp & Gilbert; the
 // solver the paper names for Eq. 13). It stops after k atoms or when the
 // residual norm drops below tol.
+//
+// The per-iteration work is the incremental fast path: the correlation scan
+// is one row-major Φ̃ᵀr pass, the selected column is folded into a rank-1
+// updated QR factorization, and the residual is deflated in O(M) — no
+// per-iteration submatrix copy or full refactorization. The least-squares
+// coefficients are solved once, at the end, from the accumulated factors.
 func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result, error) {
 	a, err := sensingMatrix(phi, locs)
 	if err != nil {
@@ -107,32 +104,37 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 	if k > m {
 		k = m // cannot identify more atoms than measurements
 	}
-	// Column norms for normalized correlation.
+	// Column norms for normalized correlation, accumulated row-major.
 	colNorm := make([]float64, n)
-	for j := 0; j < n; j++ {
-		s := 0.0
-		for i := 0; i < m; i++ {
-			v := a.Data[i*n+j]
-			s += v * v
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			colNorm[j] += v * v
 		}
+	}
+	for j, s := range colNorm {
 		colNorm[j] = math.Sqrt(s)
 	}
+	qr, err := mat.NewIncrementalQR(m, k)
+	if err != nil {
+		return nil, err
+	}
 	resid := mat.CloneVec(y)
+	corr := make([]float64, n)
+	col := make([]float64, m)
 	support := make([]int, 0, k)
 	inSupport := make([]bool, n)
-	var coef []float64
 	iters := 0
 	for len(support) < k {
 		iters++
-		// Correlate residual with each column.
+		// Correlate residual with every column in one row-major pass.
+		if err := mat.MulTVecInto(corr, a, resid); err != nil {
+			return nil, err
+		}
 		best, bestJ := 0.0, -1
-		for j := 0; j < n; j++ {
+		for j, dot := range corr {
 			if inSupport[j] || colNorm[j] == 0 {
 				continue
-			}
-			dot := 0.0
-			for i := 0; i < m; i++ {
-				dot += a.Data[i*n+j] * resid[i]
 			}
 			if c := math.Abs(dot) / colNorm[j]; c > best {
 				best, bestJ = c, j
@@ -141,34 +143,20 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 		if bestJ < 0 {
 			break
 		}
-		support = append(support, bestJ)
-		inSupport[bestJ] = true
-		// Least squares on the current support.
-		sub, err := mat.SelectCols(a, support)
-		if err != nil {
-			return nil, err
+		for i := 0; i < m; i++ {
+			col[i] = a.Data[i*n+bestJ]
 		}
-		coef, err = mat.LeastSquares(sub, y)
-		if err != nil {
-			// Newly added column made the subproblem rank deficient; drop it
-			// and stop growing the support.
-			support = support[:len(support)-1]
-			if len(support) == 0 {
-				return nil, err
-			}
-			sub, _ = mat.SelectCols(a, support)
-			coef, err = mat.LeastSquares(sub, y)
-			if err != nil {
-				return nil, err
-			}
+		if err := qr.Append(col); err != nil {
+			// The chosen column is linearly dependent on the current support:
+			// it cannot reduce the residual, so stop growing. The factors
+			// already held are reused as-is — no second solve pass needed.
 			break
 		}
-		// Residual update.
-		pred, err := mat.MulVec(sub, coef)
-		if err != nil {
+		support = append(support, bestJ)
+		inSupport[bestJ] = true
+		if _, err := qr.DeflateLatest(resid); err != nil {
 			return nil, err
 		}
-		resid = mat.SubVec(y, pred)
 		if mat.Norm2(resid) <= tol {
 			break
 		}
@@ -179,6 +167,10 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 			Alpha: make([]float64, n), Support: nil,
 			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
 		}, nil
+	}
+	coef, err := qr.Solve(y)
+	if err != nil {
+		return nil, err
 	}
 	return packResult(phi, support, coef, y, a, iters)
 }

@@ -47,22 +47,30 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 	}
 	fixedMu := opts.StepSize
 	alpha := make([]float64, n)
+	// Per-iteration work buffers, hoisted so the loop allocates nothing.
+	pred := make([]float64, m)
+	r := make([]float64, m)
+	g := make([]float64, n)
+	gS := make([]float64, n)
+	agS := make([]float64, m)
+	idxScratch := make([]int, n)
+	mask := make([]bool, n)
 	prevRes := math.Inf(1)
 	iters := 0
 	for ; iters < opts.MaxIter; iters++ {
 		// r = y − Φ̃α.
-		pred, err := mat.MulVec(a, alpha)
-		if err != nil {
+		if err := mat.MulVecInto(pred, a, alpha); err != nil {
 			return nil, err
 		}
-		r := mat.SubVec(y, pred)
+		for i := range r {
+			r[i] = y[i] - pred[i]
+		}
 		rn := mat.Norm2(r)
 		if math.Abs(prevRes-rn) < opts.Tol {
 			break
 		}
 		prevRes = rn
-		g, err := mat.MulTVec(a, r)
-		if err != nil {
+		if err := mat.MulTVecInto(g, a, r); err != nil {
 			return nil, err
 		}
 		// Normalized-IHT step (Blumensath & Davies): the exact line-search
@@ -74,18 +82,22 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 		if mu <= 0 {
 			workSup := supportOf(alpha)
 			if len(workSup) == 0 {
-				workSup = topKIndices(g, opts.K)
+				workSup = topKIndicesInto(g, opts.K, idxScratch)
 			}
-			gS := make([]float64, n)
 			for _, j := range workSup {
 				gS[j] = g[j]
 			}
-			agS, err := mat.MulVec(a, gS)
-			if err != nil {
+			if err := mat.MulVecInto(agS, a, gS); err != nil {
 				return nil, err
 			}
-			num := mat.Dot(gS, gS)
+			num := 0.0
+			for _, j := range workSup {
+				num += gS[j] * gS[j]
+			}
 			den := mat.Dot(agS, agS)
+			for _, j := range workSup {
+				gS[j] = 0
+			}
 			if den <= 0 {
 				mu = 1
 			} else {
@@ -95,7 +107,7 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 		for j := range alpha {
 			alpha[j] += mu * g[j]
 		}
-		hardThreshold(alpha, opts.K)
+		hardThresholdWith(alpha, opts.K, idxScratch, mask)
 	}
 	support := supportOf(alpha)
 	// Debias: least squares on the final support.
@@ -157,6 +169,20 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 	}
 	alpha := make([]float64, n)
 	resid := mat.CloneVec(y)
+	// Per-iteration work buffers, hoisted so the loop allocates only inside
+	// the least-squares solve. The merged candidate set never exceeds
+	// 3K (current K-sparse support plus 2K proxy picks).
+	proxy := make([]float64, n)
+	idxScratch := make([]int, n)
+	mask := make([]bool, n)
+	maxMerge := 3 * opts.K
+	if maxMerge > m {
+		maxMerge = m
+	}
+	subBuf := make([]float64, m*maxMerge)
+	idx := make([]int, 0, maxMerge)
+	coef := make([]float64, 0, maxMerge)
+	pred := make([]float64, m)
 	iters := 0
 	prev := math.Inf(1)
 	for ; iters < opts.MaxIter; iters++ {
@@ -166,27 +192,29 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 		}
 		prev = rn
 		// Proxy = Φ̃ᵀ r; take 2K strongest plus current support.
-		proxy, err := mat.MulTVec(a, resid)
-		if err != nil {
+		if err := mat.MulTVecInto(proxy, a, resid); err != nil {
 			return nil, err
 		}
-		merged := map[int]bool{}
 		for _, j := range supportOf(alpha) {
-			merged[j] = true
+			mask[j] = true
 		}
-		for _, j := range topKIndices(proxy, 2*opts.K) {
-			merged[j] = true
+		for _, j := range topKIndicesInto(proxy, 2*opts.K, idxScratch) {
+			mask[j] = true
 		}
-		idx := make([]int, 0, len(merged))
-		for j := range merged {
-			idx = append(idx, j)
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			if mask[j] {
+				mask[j] = false
+				if len(idx) < maxMerge {
+					idx = append(idx, j)
+				}
+			}
 		}
-		sortInts(idx)
 		if len(idx) == 0 {
 			break
 		}
-		sub, err := mat.SelectCols(a, idx)
-		if err != nil {
+		sub := &mat.Matrix{Rows: m, Cols: len(idx), Data: subBuf[:m*len(idx)]}
+		if err := mat.SelectColsInto(sub, a, idx); err != nil {
 			return nil, err
 		}
 		ls, err := mat.LeastSquares(sub, y)
@@ -194,30 +222,32 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 			break // rank-deficient merge; keep the previous estimate
 		}
 		// Prune to K.
-		full := make([]float64, n)
-		for i, j := range idx {
-			full[j] = ls[i]
+		for j := range alpha {
+			alpha[j] = 0
 		}
-		hardThreshold(full, opts.K)
-		alpha = full
+		for i, j := range idx {
+			alpha[j] = ls[i]
+		}
+		hardThresholdWith(alpha, opts.K, idxScratch, mask)
 		// Update residual from the pruned estimate.
 		support := supportOf(alpha)
-		sub2, err := mat.SelectCols(a, support)
-		if err != nil {
+		sub2 := &mat.Matrix{Rows: m, Cols: len(support), Data: subBuf[:m*len(support)]}
+		if err := mat.SelectColsInto(sub2, a, support); err != nil {
 			return nil, err
 		}
-		coef := make([]float64, len(support))
+		coef = coef[:len(support)]
 		for i, j := range support {
 			coef[i] = alpha[j]
 		}
-		pred, err := mat.MulVec(sub2, coef)
-		if err != nil {
+		if err := mat.MulVecInto(pred, sub2, coef); err != nil {
 			return nil, err
 		}
-		resid = mat.SubVec(y, pred)
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
 	}
 	support := supportOf(alpha)
-	coef := make([]float64, len(support))
+	coef = make([]float64, len(support))
 	for i, j := range support {
 		coef[i] = alpha[j]
 	}
@@ -291,8 +321,15 @@ func BPDN(phi *mat.Matrix, locs []int, y []float64, eps, zeroTol float64) (*Resu
 
 // hardThreshold zeroes all but the k largest-magnitude entries in place.
 func hardThreshold(v []float64, k int) {
-	keep := topKIndices(v, k)
-	mask := make(map[int]bool, len(keep))
+	hardThresholdWith(v, k, make([]int, len(v)), make([]bool, len(v)))
+}
+
+// hardThresholdWith is hardThreshold with caller-provided scratch, so hot
+// loops can run it without allocating. idxScratch must have len(v) entries
+// and mask must be an all-false []bool of len(v); the mask is restored to
+// all-false before returning.
+func hardThresholdWith(v []float64, k int, idxScratch []int, mask []bool) {
+	keep := topKIndicesInto(v, k, idxScratch)
 	for _, j := range keep {
 		mask[j] = true
 	}
@@ -301,17 +338,27 @@ func hardThreshold(v []float64, k int) {
 			v[j] = 0
 		}
 	}
+	for _, j := range keep {
+		mask[j] = false
+	}
 }
 
 // topKIndices returns the indices of the k largest |v| entries.
 func topKIndices(v []float64, k int) []int {
+	return topKIndicesInto(v, k, make([]int, len(v)))
+}
+
+// topKIndicesInto is topKIndices with a caller-provided scratch slice of
+// len(v); the returned slice aliases idxScratch and is valid until the next
+// call that reuses the scratch.
+func topKIndicesInto(v []float64, k int, idxScratch []int) []int {
 	if k <= 0 {
 		return nil
 	}
 	if k > len(v) {
 		k = len(v)
 	}
-	idx := make([]int, len(v))
+	idx := idxScratch[:len(v)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -325,9 +372,7 @@ func topKIndices(v []float64, k int) []int {
 		}
 		idx[i], idx[best] = idx[best], idx[i]
 	}
-	out := make([]int, k)
-	copy(out, idx[:k])
-	return out
+	return idx[:k]
 }
 
 // supportOf returns the sorted nonzero indices.

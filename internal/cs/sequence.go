@@ -104,7 +104,7 @@ func DecodeSpatioTemporal(phi *mat.Matrix, jm JointMeasurements, k int) ([][]flo
 	if len(jm.Locs) == 0 || len(jm.Locs) != len(jm.Y) {
 		return nil, nil, errors.New("cs: joint measurements empty or inconsistent")
 	}
-	tempo := basis.DCT(jm.T)
+	tempo := basis.CachedDCT(jm.T)
 	joint, err := basis.Kron2D(phi, tempo)
 	if err != nil {
 		return nil, nil, err

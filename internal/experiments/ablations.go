@@ -35,7 +35,7 @@ func DefaultA1() A1Config {
 // the generic DCT and Haar bases at equal measurement budget.
 func A1(cfg A1Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	gen := func() *field.Field {
+	gen := func(rng *rand.Rand) *field.Field {
 		f := field.GenPlumes(cfg.W, cfg.H, 5, []field.Plume{
 			{Row: 4 + 2*rng.NormFloat64(), Col: 10 + 2*rng.NormFloat64(),
 				Sigma: 2.5 + 0.3*rng.NormFloat64(), Amplitude: 25 + 5*rng.NormFloat64()},
@@ -44,7 +44,7 @@ func A1(cfg A1Config) (*Table, error) {
 		})
 		return f
 	}
-	traces, err := field.CollectTraces(cfg.W, cfg.H, cfg.PriorT, func(int) *field.Field { return gen() })
+	traces, err := field.CollectTraces(cfg.W, cfg.H, cfg.PriorT, func(int) *field.Field { return gen(rng) })
 	if err != nil {
 		return nil, err
 	}
@@ -72,17 +72,19 @@ func A1(cfg A1Config) (*Table, error) {
 		Title:  "Basis choice at equal budget: generic vs learned from prior traces",
 		Header: []string{"basis", "mean-NMSE", "mean-accuracy"},
 	}
-	sums := make([]float64, len(bases))
-	accs := make([]float64, len(bases))
-	for trial := 0; trial < cfg.Trials; trial++ {
-		truth := gen()
+	nm := make([][]float64, cfg.Trials)
+	ac := make([][]float64, cfg.Trials)
+	err = forEachTrial(cfg.Trials, subSeed(cfg.Seed, 1), func(trial int, rng *rand.Rand) error {
+		nm[trial] = make([]float64, len(bases))
+		ac[trial] = make([]float64, len(bases))
+		truth := gen(rng)
 		locs, err := cs.RandomLocations(rng, truth.N(), cfg.M)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		y, err := cs.Measure(truth.Vector(), locs, rng, []float64{0.1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, bs := range bases {
 			var res *cs.Result
@@ -95,10 +97,22 @@ func A1(cfg A1Config) (*Table, error) {
 				res, err = cs.OMP(bs.phi, locs, y, cfg.K, 1e-9)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sums[i] += cs.NMSE(truth.Vector(), res.Xhat)
-			accs[i] += cs.Accuracy(truth.Vector(), res.Xhat)
+			nm[trial][i] = cs.NMSE(truth.Vector(), res.Xhat)
+			ac[trial][i] = cs.Accuracy(truth.Vector(), res.Xhat)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(bases))
+	accs := make([]float64, len(bases))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for i := range bases {
+			sums[i] += nm[trial][i]
+			accs[i] += ac[trial][i]
 		}
 	}
 	for i, bs := range bases {
@@ -131,8 +145,7 @@ func DefaultA2() A2Config {
 // ε is minimal." The workload is compressible (not exactly sparse) with
 // measurement noise, so both effects are active.
 func A2(cfg A2Config) (*Table, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	phi := basis.DCT(cfg.N)
+	phi := basis.CachedDCT(cfg.N)
 	t := &Table{
 		ID:     "A2",
 		Title:  "Total error vs sparsity budget K at fixed M (U-shape)",
@@ -147,9 +160,9 @@ func A2(cfg A2Config) (*Table, error) {
 		if k >= cfg.M {
 			continue
 		}
-		var nmses []float64
-		condSum := 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
+		nmses := make([]float64, cfg.Trials)
+		conds := make([]float64, cfg.Trials)
+		err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, int64(k)), func(trial int, rng *rand.Rand) error {
 			// Compressible signal: power-law decaying DCT spectrum.
 			alpha := make([]float64, cfg.N)
 			perm := rng.Perm(cfg.N)
@@ -158,28 +171,36 @@ func A2(cfg A2Config) (*Table, error) {
 			}
 			x, err := basis.Synthesize(phi, alpha)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			locs, err := cs.RandomLocations(rng, cfg.N, cfg.M)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			y, err := cs.Measure(x, locs, rng, []float64{cfg.Noise})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := cs.OMP(phi, locs, y, k, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			nmses = append(nmses, cs.NMSE(x, res.Xhat))
+			nmses[trial] = cs.NMSE(x, res.Xhat)
 			bd, err := cs.Diagnose(phi, x, locs, res, []float64{cfg.Noise})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !math.IsInf(bd.Condition, 1) {
-				condSum += bd.Condition
+				conds[trial] = bd.Condition
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		condSum := 0.0
+		for _, c := range conds {
+			condSum += c
 		}
 		// Median is robust to the occasional catastrophic OMP miss, which
 		// would otherwise swamp the U-shape.
@@ -221,15 +242,20 @@ func A3(cfg A3Config) (*Table, error) {
 		Header: []string{"trial", "crit-zone-M(uni)", "crit-zone-M(crit)", "crit-NMSE(uni)", "crit-NMSE(crit)"},
 	}
 	const critZone = 3 // bottom-right of a 2x2 partition
-	improved := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
+	type outcome struct {
+		uniM, critM       int
+		uniNMSE, critNMSE float64
+	}
+	outs := make([]outcome, cfg.Trials)
+	err := forEach(cfg.Trials, func(trial int) error {
 		sd, err := core.New(core.Options{
 			FieldW: 32, FieldH: 32, ZoneRows: 2, ZoneCols: 2,
 			NCsPerZone: 1, NodesPerNC: 4, Seed: cfg.Seed + int64(trial)*31,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		defer sd.Close()
 		// Activity everywhere, so the sparsity signal alone doesn't already
 		// decide the allocation.
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
@@ -241,29 +267,34 @@ func A3(cfg A3Config) (*Table, error) {
 		})
 		truth.AddNoise(rng, 0.05)
 		if err := sd.SetTruth(truth); err != nil {
-			sd.Close()
-			return nil, err
+			return err
 		}
 		uni, err := sd.RunCampaign(core.CampaignConfig{TotalM: cfg.TotalM, Adaptive: true, Prior: truth})
 		if err != nil {
-			sd.Close()
-			return nil, err
+			return err
 		}
 		if err := sd.SetCriticality(critZone, cfg.Crit); err != nil {
-			sd.Close()
-			return nil, err
+			return err
 		}
 		crit, err := sd.RunCampaign(core.CampaignConfig{TotalM: cfg.TotalM, Adaptive: true, Prior: truth})
 		if err != nil {
-			sd.Close()
-			return nil, err
+			return err
 		}
-		sd.Close()
-		if crit.ZoneNMSE[critZone] <= uni.ZoneNMSE[critZone] {
+		outs[trial] = outcome{
+			uniM: uni.Plan[critZone], critM: crit.Plan[critZone],
+			uniNMSE: uni.ZoneNMSE[critZone], critNMSE: crit.ZoneNMSE[critZone],
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	improved := 0
+	for trial, o := range outs {
+		if o.critNMSE <= o.uniNMSE {
 			improved++
 		}
-		t.AddRow(d(trial), d(uni.Plan[critZone]), d(crit.Plan[critZone]),
-			f(uni.ZoneNMSE[critZone]), f(crit.ZoneNMSE[critZone]))
+		t.AddRow(d(trial), d(o.uniM), d(o.critM), f(o.uniNMSE), f(o.critNMSE))
 	}
 	t.AddNote("zone %d criticality raised to %.0fx: it receives a larger budget share and its error improved in %d/%d trials",
 		critZone, cfg.Crit, improved, cfg.Trials)

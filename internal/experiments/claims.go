@@ -102,40 +102,48 @@ func DefaultC2() C2Config {
 // majority of trials) and compares it against K·log N — the paper's
 // "M is in the order of O(K log(N))".
 func C2(cfg C2Config) (*Table, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	t := &Table{
 		ID:     "C2",
 		Title:  "Minimal measurements for recovery vs K·log N",
 		Header: []string{"N", "K", "M-min", "K*lnN", "c = M/(K*lnN)"},
 	}
 	for _, n := range cfg.Ns {
-		phi := basis.DCT(n)
+		phi := basis.CachedDCT(n)
 		for _, k := range cfg.Ks {
 			mMin := -1
 			for m := k + 2; m <= n; m += 2 {
+				oks := make([]bool, cfg.Trials)
+				err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, int64(n), int64(k), int64(m)),
+					func(trial int, rng *rand.Rand) error {
+						alpha := make([]float64, n)
+						for _, j := range rng.Perm(n)[:k] {
+							alpha[j] = 1 + rng.Float64()*2
+						}
+						x, err := basis.Synthesize(phi, alpha)
+						if err != nil {
+							return err
+						}
+						locs, err := cs.RandomLocations(rng, n, m)
+						if err != nil {
+							return err
+						}
+						y, err := cs.Measure(x, locs, rng, nil)
+						if err != nil {
+							return err
+						}
+						res, err := cs.OMP(phi, locs, y, k, 1e-10)
+						if err != nil {
+							return nil // decode failure counts as a miss, not an error
+						}
+						oks[trial] = cs.NMSE(x, res.Xhat) < 0.01
+						return nil
+					})
+				if err != nil {
+					return nil, err
+				}
 				ok := 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					alpha := make([]float64, n)
-					for _, j := range rng.Perm(n)[:k] {
-						alpha[j] = 1 + rng.Float64()*2
-					}
-					x, err := basis.Synthesize(phi, alpha)
-					if err != nil {
-						return nil, err
-					}
-					locs, err := cs.RandomLocations(rng, n, m)
-					if err != nil {
-						return nil, err
-					}
-					y, err := cs.Measure(x, locs, rng, nil)
-					if err != nil {
-						return nil, err
-					}
-					res, err := cs.OMP(phi, locs, y, k, 1e-10)
-					if err != nil {
-						continue
-					}
-					if cs.NMSE(x, res.Xhat) < 0.01 {
+				for _, hit := range oks {
+					if hit {
 						ok++
 					}
 				}
@@ -241,7 +249,7 @@ func C4(cfg C4Config) (*Table, error) {
 	indoor := sensor.AlternatingSchedule(1800) // 30 min indoors, 30 min out
 	gpsModel := sensor.GPSModel(indoor)
 	wifiModel := sensor.WiFiModel(indoor)
-	phi, err := basis.Haar(cfg.WindowLen)
+	phi, err := basis.Cached(basis.KindHaar, cfg.WindowLen)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +371,7 @@ func DefaultC5() C5Config { return C5Config{Ms: []int{10, 20, 30, 45, 64}, Trial
 // from 30 of 256 accelerometer samples matches full-window classification.
 func C5(cfg C5Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	phi := basis.DFT(256)
+	phi := basis.CachedDFT(256)
 	scens := []sensor.MotionScenario{sensor.MotionIdle, sensor.MotionWalking, sensor.MotionDriving}
 	t := &Table{
 		ID:     "C5",

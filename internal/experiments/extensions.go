@@ -39,8 +39,7 @@ func DefaultA4() A4Config { return A4Config{N: 128, M: 40, K: 6, Noise: 0.02, Tr
 // Eq. 13 solver), basis pursuit / BPDN (the Eq. 9–10 L1 program), CoSaMP
 // and IHT — on the same noisy sparse-recovery instances.
 func A4(cfg A4Config) (*Table, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	phi := basis.DCT(cfg.N)
+	phi := basis.CachedDCT(cfg.N)
 	type decoder struct {
 		name string
 		run  func(locs []int, y []float64) (*cs.Result, error)
@@ -59,32 +58,49 @@ func A4(cfg A4Config) (*Table, error) {
 			return cs.BPDN(phi, locs, y, 2*cfg.Noise, 1e-6)
 		}},
 	}
-	sums := make([]float64, len(decoders))
-	fails := make([]int, len(decoders))
-	for trial := 0; trial < cfg.Trials; trial++ {
+	nm := make([][]float64, cfg.Trials)
+	failed := make([][]bool, cfg.Trials)
+	err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, 4), func(trial int, rng *rand.Rand) error {
+		nm[trial] = make([]float64, len(decoders))
+		failed[trial] = make([]bool, len(decoders))
 		alpha := make([]float64, cfg.N)
 		for _, j := range rng.Perm(cfg.N)[:cfg.K] {
 			alpha[j] = 2 + rng.Float64()*3
 		}
 		x, err := basis.Synthesize(phi, alpha)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		locs, err := cs.RandomLocations(rng, cfg.N, cfg.M)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		y, err := cs.Measure(x, locs, rng, []float64{cfg.Noise})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, dec := range decoders {
 			res, err := dec.run(locs, y)
 			if err != nil {
-				fails[i]++
+				failed[trial][i] = true
 				continue
 			}
-			sums[i] += cs.NMSE(x, res.Xhat)
+			nm[trial][i] = cs.NMSE(x, res.Xhat)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(decoders))
+	fails := make([]int, len(decoders))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for i := range decoders {
+			if failed[trial][i] {
+				fails[i]++
+			} else {
+				sums[i] += nm[trial][i]
+			}
 		}
 	}
 	t := &Table{
@@ -142,16 +158,26 @@ func A5(cfg A5Config) (*Table, error) {
 		Title:  "Per-snapshot vs joint spatio-temporal decoding (equal budget)",
 		Header: []string{"M/step", "per-step-NMSE", "joint-NMSE", "improvement"},
 	}
-	for _, m := range cfg.Ms {
+	perStep := make([]float64, len(cfg.Ms))
+	joint := make([]float64, len(cfg.Ms))
+	err = forEach(len(cfg.Ms), func(mi int) error {
+		m := cfg.Ms[mi]
 		st, _, err := cs.RecoverSequence(phi, seq, cs.SequenceOptions{M: m, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		jt, _, err := cs.RecoverSpatioTemporal(phi, seq, cs.SpatioTemporalOptions{M: m, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s, j := cs.MeanNMSE(st), cs.MeanNMSE(jt)
+		perStep[mi], joint[mi] = cs.MeanNMSE(st), cs.MeanNMSE(jt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range cfg.Ms {
+		s, j := perStep[mi], joint[mi]
 		t.AddRow(d(m), f(s), f(j), fmt.Sprintf("%.1fx", s/math.Max(j, 1e-12)))
 	}
 	t.AddNote("%d-step drifting plume on a %dx%d grid; joint basis = spatial DCT ⊗ temporal DCT", cfg.Steps, cfg.H, cfg.W)
@@ -243,7 +269,7 @@ func A6(cfg A6Config) (*Table, error) {
 	}
 	model := energy.DefaultModel()
 	cost := model.SensorSampleMJ[sensor.Temperature]
-	for _, p := range []struct {
+	policies := []struct {
 		name string
 		next func(float64) float64
 		init float64
@@ -251,9 +277,17 @@ func A6(cfg A6Config) (*Table, error) {
 		{"fixed-5s", fixedFast, 5},
 		{"fixed-60s", fixedSlow, 60},
 		{"adaptive-AIMD", adaptive, 5},
-	} {
-		n, meanErr := run(p.next, p.init)
-		t.AddRow(p.name, d(n), f(meanErr), f2(float64(n)*cost))
+	}
+	samples := make([]int, len(policies))
+	meanErrs := make([]float64, len(policies))
+	if err := forEach(len(policies), func(pi int) error {
+		samples[pi], meanErrs[pi] = run(policies[pi].next, policies[pi].init)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for pi, p := range policies {
+		t.AddRow(p.name, d(samples[pi]), f(meanErrs[pi]), f2(float64(samples[pi])*cost))
 	}
 	t.AddNote("%.0f s bursty signal with %d events; adaptive trades a little accuracy for a large cut in samples vs fixed-fast, and beats fixed-slow on both axes per joule", cfg.DurationS, cfg.Events)
 	return t, nil

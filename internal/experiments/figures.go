@@ -230,49 +230,59 @@ func DefaultFig4() Fig4Config {
 // random samples; the curve should rise steeply and flatten past the
 // M ≈ O(K log N) knee.
 func Fig4(cfg Fig4Config) (*Table, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	model, err := sensor.AccelModel(sensor.MotionDriving)
 	if err != nil {
 		return nil, err
 	}
-	phi := basis.DFT(cfg.N)
+	phi := basis.CachedDFT(cfg.N)
 	t := &Table{
 		ID:     "F4",
 		Title:  fmt.Sprintf("Reconstruction accuracy vs #measurements (N=%d accelerometer window)", cfg.N),
 		Header: []string{"M", "compression", "NMSE", "accuracy", "snr(dB)"},
 	}
 	for _, m := range cfg.Ms {
-		nmseSum, accSum, snrSum := 0.0, 0.0, 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
+		nmses := make([]float64, cfg.Trials)
+		accs := make([]float64, cfg.Trials)
+		snrs := make([]float64, cfg.Trials)
+		err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, int64(m)), func(trial int, rng *rand.Rand) error {
 			probe, err := sensor.NewProbe("a", sensor.Accelerometer, 3,
 				sensor.Config{RateHz: 64, NoiseSigma: 0.02, Seed: rng.Int63()}, model)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			window, err := probe.CollectAxis(cfg.N, 2)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			locs, err := cs.RandomLocations(rng, cfg.N, m)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			y, err := cs.Measure(window, locs, rng, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := cs.OMP(phi, locs, y, cfg.K, 1e-9)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			nm := cs.NMSE(window, res.Xhat)
-			nmseSum += nm
-			accSum += cs.Accuracy(window, res.Xhat)
+			nmses[trial] = cs.NMSE(window, res.Xhat)
+			accs[trial] = cs.Accuracy(window, res.Xhat)
 			snr := cs.SNRdB(window, res.Xhat)
 			if math.IsInf(snr, 1) {
 				snr = 60
 			}
-			snrSum += snr
+			snrs[trial] = snr
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		nmseSum, accSum, snrSum := 0.0, 0.0, 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			nmseSum += nmses[trial]
+			accSum += accs[trial]
+			snrSum += snrs[trial]
 		}
 		tr := float64(cfg.Trials)
 		t.AddRow(d(m), fmt.Sprintf("%.1fx", cs.CompressionRatio(cfg.N, m)),
@@ -375,7 +385,7 @@ func DefaultFig6() Fig6Config { return Fig6Config{N: 256, M: 64, K: 8, Trials: 1
 // OLS-vs-GLS step (e) comparison under heterogeneous sensor noise.
 func Fig6(cfg Fig6Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	phi := basis.DCT(cfg.N)
+	phi := basis.CachedDCT(cfg.N)
 	t := &Table{
 		ID:     "F6",
 		Title:  "CHS algorithm: convergence and OLS vs GLS under heterogeneous sensors",

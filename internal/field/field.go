@@ -71,17 +71,10 @@ func FromVector(w, h int, x []float64) (*Field, error) {
 
 // Basis2D returns the separable 2-D orthonormal basis for this field's
 // shape: the row basis of size H Kronecker the column basis of size W,
-// matching the column-stacking convention.
+// matching the column-stacking convention. The matrix is memoized per
+// (kind, H, W) and shared — callers must not mutate it.
 func (f *Field) Basis2D(kind basis.Kind) (*mat.Matrix, error) {
-	pr, err := basis.New(kind, f.H)
-	if err != nil {
-		return nil, err
-	}
-	pc, err := basis.New(kind, f.W)
-	if err != nil {
-		return nil, err
-	}
-	return basis.Kron2D(pr, pc)
+	return basis.Cached2D(kind, f.H, f.W)
 }
 
 // MaxLoc returns the (row, col, value) of the field maximum.

@@ -431,20 +431,34 @@ func SolveUpperTriangular(r *Matrix, b []float64) ([]float64, error) {
 
 // LeastSquares solves min_x ||a*x - b||₂ via QR (requires a.Rows >= a.Cols
 // and full column rank). This implements the paper's ordinary least squares
-// (OLS) estimate, Eq. (11).
+// (OLS) estimate, Eq. (11). The factorization is the thin column-by-column
+// MGS of IncrementalQR — O(m·n²) and O(m·n) memory, versus the O(m²·n)
+// Householder path with its m×m accumulated Q — and reports ErrSingular as
+// soon as a dependent column is met.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	if a.Rows != len(b) {
 		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), a.Rows)
 	}
-	qr, err := QRDecompose(a)
+	if a.Cols == 0 {
+		return []float64{}, nil
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("%w: LeastSquares needs rows >= cols, got %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	f, err := NewIncrementalQR(a.Rows, a.Cols)
 	if err != nil {
 		return nil, err
 	}
-	qtb, err := MulTVec(qr.Q, b)
-	if err != nil {
-		return nil, err
+	col := make([]float64, a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			col[i] = a.Data[i*a.Cols+j]
+		}
+		if err := f.Append(col); err != nil {
+			return nil, err
+		}
 	}
-	return SolveUpperTriangular(qr.R, qtb)
+	return f.Solve(b)
 }
 
 // WeightedLeastSquares solves the generalized least squares problem

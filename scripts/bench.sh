@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the decode-fast-path benchmark suite and emits BENCH_1.json with
+# ns/op, B/op, and allocs/op per benchmark. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# The benchtime is pinned to a fixed iteration count so runs are comparable
+# across machines of similar class; override with BENCHTIME=200x.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+BENCHTIME="${BENCHTIME:-50x}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Root-level end-to-end benches plus the decoder/kernels micro benches.
+go test -run '^$' -bench 'BenchmarkFig4ReconstructionVsM|BenchmarkEndToEndCampaign|BenchmarkFig5AdaptiveZones|BenchmarkFig6CHSAlgorithm|BenchmarkC2MeasurementBound|BenchmarkA4DecoderComparison' \
+    -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkOMP256M30|BenchmarkIHT256|BenchmarkCoSaMP256' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/cs/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkMul64|BenchmarkQR128x32' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/mat/ | tee -a "$TMP"
+
+awk -v go_version="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    n++
+}
+END {
+    printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"benchmarks\": [\n", go_version
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Static checks plus the race-enabled test suite. The parallel trial/zone
+# fan-out must stay race-clean; run this before every commit that touches
+# internal/cs, internal/mat, internal/cloud, or internal/experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
+
+echo "all checks passed"
