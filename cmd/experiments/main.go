@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
+	obsOut := flag.String("obs-out", "", "enable metrics and write a final obs registry snapshot (JSON) to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [list|all|<id>...]\n\nexperiments:\n")
 		for _, r := range experiments.All() {
@@ -31,6 +33,22 @@ func main() {
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *obsOut != "" {
+		obs.Enable()
+		defer func() {
+			f, err := os.Create(*obsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: obs-out: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := obs.Default.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: obs-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote obs snapshot to %s\n", *obsOut)
+		}()
 	}
 	var runners []experiments.Runner
 	switch args[0] {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/bus"
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/sensor"
 )
 
@@ -53,14 +54,25 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "rounds to run (0 = forever)")
 		worldSeed = flag.Int64("world-seed", 9, "shared synthetic-world seed")
 		seed      = flag.Int64("seed", 1, "broker RNG seed")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics.json, /spans and /debug/pprof on this address (enables metrics)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, bound, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			log.Fatalf("sensedroid-broker: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints on http://%s (/metrics.json /spans /debug/pprof/)", bound)
+	}
 
 	rng := rand.New(rand.NewSource(*worldSeed))
 	world, _ := field.GenRandomPlumes(rng, *w, *h, 3, 10, 30)
 	env := worldEnv{f: world, scale: 10}
 
 	b := bus.New()
+	b.AddHook(bus.ObsHook())
 	srv, err := bus.NewServer(b, *addr)
 	if err != nil {
 		log.Fatalf("sensedroid-broker: %v", err)

@@ -20,6 +20,13 @@ import (
 	"repro/internal/field"
 	"repro/internal/mobility"
 	"repro/internal/node"
+	"repro/internal/obs"
+)
+
+// Standalone-node observability handles (no-ops unless -debug-addr).
+var (
+	obsCommands = obs.GetCounter("nodeproc.commands")
+	obsReplies  = obs.GetCounter("nodeproc.replies")
 )
 
 func main() {
@@ -32,8 +39,17 @@ func main() {
 		worldSeed = flag.Int64("world-seed", 9, "shared synthetic-world seed")
 		seed      = flag.Int64("seed", 0, "node RNG seed (0 = derive from id)")
 		noise     = flag.Float64("noise", 0.2, "sensor noise sigma")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics.json, /spans and /debug/pprof on this address (enables metrics)")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		dbg, bound, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			log.Fatalf("sensedroid-node: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints on http://%s (/metrics.json /spans /debug/pprof/)", bound)
+	}
 	if *seed == 0 {
 		for _, ch := range *id {
 			*seed = *seed*131 + int64(ch)
@@ -103,6 +119,7 @@ func main() {
 			if err := json.Unmarshal(msg.Payload, &env); err != nil || env.ReplyTo == "" {
 				continue
 			}
+			obsCommands.Inc()
 			var reply any
 			switch msg.Topic {
 			case measureTopic:
@@ -123,6 +140,8 @@ func main() {
 			}
 			if err := cli.Publish(env.ReplyTo, raw); err != nil {
 				log.Printf("node %s: publish reply: %v", *id, err)
+			} else {
+				obsReplies.Inc()
 			}
 		}
 	}

@@ -20,7 +20,21 @@ import (
 	"repro/internal/field"
 	"repro/internal/mat"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sensor"
+)
+
+// Broker observability handles (no-ops until obs.Enable). Gather latency
+// comes from the span auto-histogram "span.broker.gather.ms".
+var (
+	obsGatherRounds  = obs.GetCounter("broker.gather.rounds")
+	obsGatherMobile  = obs.GetCounter("broker.gather.mobile")
+	obsGatherInfra   = obs.GetCounter("broker.gather.infra")
+	obsGatherDenied  = obs.GetCounter("broker.gather.denied")
+	obsReconRounds   = obs.GetCounter("broker.reconstruct.rounds")
+	obsReconIters    = obs.GetHistogram("broker.reconstruct.iterations", obs.CountBuckets)
+	obsReconSupport  = obs.GetHistogram("broker.reconstruct.support", obs.CountBuckets)
+	obsReconResidual = obs.GetGauge("broker.reconstruct.residual.last")
 )
 
 // SelectionPolicy chooses which nodes a gather round solicits.
@@ -147,6 +161,9 @@ func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
 	if m <= 0 {
 		return nil, errors.New("broker: measurement count must be positive")
 	}
+	sp := obs.StartSpan("broker.gather")
+	sp.Label("broker", br.ID)
+	defer sp.Finish()
 	gw, gh := br.env.GridDims()
 	n := gw * gh
 	if m > n {
@@ -206,6 +223,10 @@ func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
 	if len(res.Locs) == 0 {
 		return nil, errors.New("broker: no measurements gathered")
 	}
+	obsGatherRounds.Inc()
+	obsGatherMobile.Add(int64(res.NodesUsed))
+	obsGatherInfra.Add(int64(res.InfraUsed))
+	obsGatherDenied.Add(int64(res.Denied))
 	return res, nil
 }
 
@@ -294,10 +315,16 @@ func (br *Broker) ReconstructFrom(g *GatherResult, opts ReconstructOptions) (*Re
 	if opts.UseGLS {
 		chsOpts.V = cs.NoiseCovariance(g.Sigmas, 1e-4)
 	}
+	sp := obs.StartSpan("broker.reconstruct")
 	res, err := cs.CHS(phi, g.Locs, g.Values, chsOpts)
+	sp.Finish()
 	if err != nil {
 		return nil, err
 	}
+	obsReconRounds.Inc()
+	obsReconIters.Observe(float64(res.Iterations))
+	obsReconSupport.Observe(float64(len(res.Support)))
+	obsReconResidual.Set(res.Residual)
 	f, err := field.FromVector(gw, gh, res.Xhat)
 	if err != nil {
 		return nil, err

@@ -11,10 +11,36 @@ package bus
 import (
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// Bus-wide observability handles (no-ops until obs.Enable).
+var (
+	obsPublished    = obs.GetCounter("bus.publish.messages")
+	obsPublishBytes = obs.GetCounter("bus.publish.bytes")
+	obsDelivered    = obs.GetCounter("bus.deliver.messages")
+	obsDropped      = obs.GetCounter("bus.deliver.dropped")
+)
+
+// dropWarnOnce gates the log-once overflow warning: a slow subscriber is a
+// deployment problem worth one loud line, not a log flood on every lost
+// message. The full count lives in the bus.deliver.dropped counter and the
+// per-subscription Dropped() accessor.
+var dropWarnOnce sync.Once
+
+// noteDrop accounts one overflow-discarded message.
+func (s *Subscription) noteDrop() {
+	s.dropped.Add(1)
+	obsDropped.Inc()
+	dropWarnOnce.Do(func() {
+		log.Printf("bus: subscriber %q buffer full; dropping messages (see bus.deliver.dropped metric and Subscription.Dropped; this warning is logged once)", s.pattern)
+	})
+}
 
 // Message is one published datagram.
 type Message struct {
@@ -152,7 +178,7 @@ func (b *Bus) Subscribe(pattern string, buffer int) (*Subscription, error) {
 			select {
 			case ch <- msg:
 			default:
-				sub.dropped.Add(1)
+				sub.noteDrop()
 			}
 		}
 	}
@@ -219,17 +245,38 @@ func (b *Bus) Publish(topic string, payload []byte) error {
 		if Match(sub.pattern, topic) {
 			select {
 			case sub.ch <- msg:
+				obsDelivered.Inc()
 			default:
-				sub.dropped.Add(1)
+				sub.noteDrop()
 			}
 		}
 	}
 	hooks := b.hooks
 	b.mu.RUnlock()
+	obsPublished.Inc()
+	obsPublishBytes.Add(int64(len(payload)))
 	for _, h := range hooks {
 		h(topic, len(payload))
 	}
 	return nil
+}
+
+// ObsHook returns a Hook that breaks publish traffic down by top-level
+// topic prefix into obs counters ("bus.topic.<prefix>.messages" and
+// ".bytes") — the per-pipeline throughput view. Attach with AddHook; it
+// costs one Enabled check per publish while obs is off.
+func ObsHook() Hook {
+	return func(topic string, payloadBytes int) {
+		if !obs.Enabled() {
+			return
+		}
+		prefix := topic
+		if i := strings.IndexByte(topic, '/'); i >= 0 {
+			prefix = topic[:i]
+		}
+		obs.GetCounter("bus.topic." + prefix + ".messages").Inc()
+		obs.GetCounter("bus.topic." + prefix + ".bytes").Add(int64(payloadBytes))
+	}
 }
 
 // SubscribeFunc subscribes a handler callback: a worker goroutine drains

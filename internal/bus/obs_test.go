@@ -1,0 +1,111 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSlowSubscriberOverflowCounted is the regression test for subscriber
+// buffer overflow accounting: a subscriber that never drains must not block
+// the publisher, and every discarded message must show up both in the
+// subscription's Dropped() count and in the global bus.deliver.dropped
+// counter (plus the one-time warning logged by noteDrop).
+func TestSlowSubscriberOverflowCounted(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	dropCtr := obs.GetCounter("bus.deliver.dropped")
+	before := dropCtr.Value()
+
+	b := New()
+	defer b.Close()
+	sub, err := b.Subscribe("slow/#", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+	const published = 10
+	for i := 0; i < published; i++ {
+		if err := b.Publish("slow/t", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDropped := int64(published - 2) // buffer held the first two
+	if got := sub.Dropped(); got != wantDropped {
+		t.Fatalf("Subscription.Dropped() = %d, want %d", got, wantDropped)
+	}
+	if got := dropCtr.Value() - before; got != wantDropped {
+		t.Fatalf("bus.deliver.dropped advanced by %d, want %d", got, wantDropped)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	pub := obs.GetCounter("bus.publish.messages")
+	bytes := obs.GetCounter("bus.publish.bytes")
+	del := obs.GetCounter("bus.deliver.messages")
+	pub0, bytes0, del0 := pub.Value(), bytes.Value(), del.Value()
+
+	b := New()
+	defer b.Close()
+	sub, err := b.Subscribe("m/#", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+	for i := 0; i < 4; i++ {
+		if err := b.Publish("m/t", make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pub.Value() - pub0; got != 4 {
+		t.Fatalf("publish.messages += %d, want 4", got)
+	}
+	if got := bytes.Value() - bytes0; got != 32 {
+		t.Fatalf("publish.bytes += %d, want 32", got)
+	}
+	if got := del.Value() - del0; got != 4 {
+		t.Fatalf("deliver.messages += %d, want 4", got)
+	}
+}
+
+func TestObsHookPerPrefixBreakdown(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	b := New()
+	defer b.Close()
+	b.AddHook(ObsHook())
+	msgs := obs.GetCounter("bus.topic.nc7.messages")
+	byts := obs.GetCounter("bus.topic.nc7.bytes")
+	m0, b0 := msgs.Value(), byts.Value()
+	for i := 0; i < 3; i++ {
+		if err := b.Publish(fmt.Sprintf("nc7/node/n%d/measure", i), make([]byte, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Publish("other/topic", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := msgs.Value() - m0; got != 3 {
+		t.Fatalf("bus.topic.nc7.messages += %d, want 3", got)
+	}
+	if got := byts.Value() - b0; got != 15 {
+		t.Fatalf("bus.topic.nc7.bytes += %d, want 15", got)
+	}
+}
+
+func TestObsHookDisabledDoesNotRecord(t *testing.T) {
+	b := New()
+	defer b.Close()
+	b.AddHook(ObsHook())
+	ctr := obs.GetCounter("bus.topic.quiet.messages")
+	before := ctr.Value()
+	if err := b.Publish("quiet/t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Value(); got != before {
+		t.Fatalf("disabled ObsHook recorded (%d -> %d)", before, got)
+	}
+}

@@ -1,0 +1,211 @@
+package bus
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// Failure-path coverage for the TCP transport and the request/reply
+// helper: dial failures, request timeouts, oversized payloads, and a
+// server closing mid-request.
+
+func TestDialFailureClosedPort(t *testing.T) {
+	// Grab a port that is guaranteed closed: listen, note the address,
+	// close the listener, then dial it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestTCPOversizedPayloadKillsConnection(t *testing.T) {
+	b := New()
+	defer b.Close()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ch, err := cli.Subscribe("big/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: a normal payload round-trips.
+	if err := cli.Publish("big/ok", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ch:
+		if string(msg.Payload) != "fine" {
+			t.Fatalf("payload %q", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("normal payload not delivered")
+	}
+	// A frame past the server's 4 MiB scanner limit makes the server drop
+	// the connection (the documented failure mode for oversized payloads);
+	// the client's subscription channels close when the read loop ends.
+	if err := cli.Publish("big/huge", make([]byte, 5<<20)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("oversized payload was delivered")
+		}
+		// Channel closed: connection torn down as expected.
+	case <-time.After(5 * time.Second):
+		t.Fatal("connection not torn down after oversized payload")
+	}
+}
+
+func TestTCPServerCloseClosesClientSubscriptions(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ch, err := cli.Subscribe("x/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	b.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("unexpected message after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription channel not closed after server close")
+	}
+	// After the read loop has ended the client refuses further use.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cli.Subscribe("y/#"); err != nil {
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("Subscribe error = %v, want ErrClosed", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Subscribe still succeeding after connection loss")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cli.Publish("y/t", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRequestBusClosedMidRequest(t *testing.T) {
+	b := New()
+	// A responder that never answers, so Request parks on its reply
+	// channel until Close tears the bus down under it.
+	sub, err := b.Subscribe("svc/slow", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-sub.C   // swallow the request
+		b.Close() // server goes away mid-request
+	}()
+	err = Request(b, "svc/slow", struct{}{}, nil, 10*time.Second)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Request during close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRequestTimeoutNoResponder(t *testing.T) {
+	b := New()
+	defer b.Close()
+	start := time.Now()
+	err := Request(b, "svc/absent", struct{}{}, nil, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("Request with no responder succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not fire promptly")
+	}
+}
+
+func TestRequestUnmarshalableBody(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if err := Request(b, "svc/enc", make(chan int), nil, time.Second); err == nil {
+		t.Fatal("Request with unmarshalable body succeeded")
+	}
+}
+
+func TestRespondIgnoresMalformedEnvelopes(t *testing.T) {
+	b := New()
+	defer b.Close()
+	served := make(chan string, 1)
+	go func() {
+		_ = Respond(b, "svc/echo", func(topic string, body []byte) (any, error) {
+			served <- string(body)
+			return map[string]string{"ok": "yes"}, nil
+		})
+	}()
+	// Give Respond a moment to subscribe.
+	time.Sleep(20 * time.Millisecond)
+	// Garbage that is not an envelope must be skipped without killing the
+	// responder loop...
+	if err := b.Publish("svc/echo", []byte("not json at all")); err != nil {
+		t.Fatal(err)
+	}
+	// ...so a well-formed request afterwards still gets served.
+	var out map[string]string
+	if err := Request(b, "svc/echo", "hello", &out, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != "yes" {
+		t.Fatalf("reply = %v", out)
+	}
+	select {
+	case body := <-served:
+		if body != `"hello"` {
+			t.Fatalf("served body = %q", body)
+		}
+	default:
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestTCPPublishInvalidAfterDial(t *testing.T) {
+	b := New()
+	defer b.Close()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Publish("bad//topic", []byte("x")); err == nil {
+		t.Fatal("invalid topic accepted")
+	}
+	if _, err := cli.Subscribe("bad//+/pattern"); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}

@@ -17,7 +17,16 @@ import (
 	"repro/internal/broker"
 	"repro/internal/field"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sensor"
+)
+
+// Cloud-tier observability handles (no-ops until obs.Enable). Assembly
+// latency comes from the span auto-histogram "span.cloud.assemble.ms".
+var (
+	obsAssembleRounds = obs.GetCounter("cloud.assemble.rounds")
+	obsAssembleZones  = obs.GetCounter("cloud.assemble.zones")
+	obsAssembleBudget = obs.GetCounter("cloud.assemble.budget")
 )
 
 // ZoneEnv exposes one zone of a (live) global field as a node.Environment:
@@ -289,6 +298,9 @@ type ZoneReport struct {
 // are stitched in LC order afterwards, which keeps the assembled field and
 // reports identical to a serial run at any GOMAXPROCS.
 func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
+	sp := obs.StartSpan("cloud.assemble")
+	sp.Label("zones", fmt.Sprint(len(pc.LCs)))
+	defer sp.Finish()
 	type zoneOut struct {
 		rec *broker.Reconstruction
 		m   int
@@ -347,6 +359,9 @@ func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.R
 			return nil, nil, err
 		}
 		reports[z.ID] = &ZoneReport{Zone: z, Reconstruction: outs[i].rec, Budget: outs[i].m}
+		obsAssembleZones.Inc()
+		obsAssembleBudget.Add(int64(outs[i].m))
 	}
+	obsAssembleRounds.Inc()
 	return global, reports, nil
 }

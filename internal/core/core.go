@@ -20,7 +20,15 @@ import (
 	"repro/internal/field"
 	"repro/internal/mobility"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sensor"
+)
+
+// Campaign observability handles (no-ops until obs.Enable).
+var (
+	obsCampaigns    = obs.GetCounter("core.campaign.rounds")
+	obsCampaignM    = obs.GetCounter("core.campaign.measurements")
+	obsCampaignNMSE = obs.GetGauge("core.campaign.nmse.global")
 )
 
 // Options sizes a SenseDroid deployment.
@@ -106,6 +114,7 @@ func New(opts Options) (*SenseDroid, error) {
 		for nc := 0; nc < opts.NCsPerZone; nc++ {
 			b := bus.New()
 			b.AddHook(func(topic string, n int) { sd.busBytes.Add(int64(n)) })
+			b.AddHook(bus.ObsHook())
 			sd.Buses = append(sd.Buses, b)
 			brID := fmt.Sprintf("lc%d/nc%d", z.ID, nc)
 			br, err := broker.New(broker.Config{
@@ -281,6 +290,9 @@ func (sd *SenseDroid) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		res.InfraUsed += rep.Reconstruction.Gather.InfraUsed
 		res.Denied += rep.Reconstruction.Gather.Denied
 	}
+	obsCampaigns.Inc()
+	obsCampaignM.Add(int64(res.Measurements))
+	obsCampaignNMSE.Set(res.GlobalNMSE)
 	return res, nil
 }
 

@@ -72,11 +72,11 @@ func A1(cfg A1Config) (*Table, error) {
 		Title:  "Basis choice at equal budget: generic vs learned from prior traces",
 		Header: []string{"basis", "mean-NMSE", "mean-accuracy"},
 	}
-	nm := make([][]float64, cfg.Trials)
-	ac := make([][]float64, cfg.Trials)
+	nmse := make([][]float64, cfg.Trials)
+	acc := make([][]float64, cfg.Trials)
 	err = forEachTrial(cfg.Trials, subSeed(cfg.Seed, 1), func(trial int, rng *rand.Rand) error {
-		nm[trial] = make([]float64, len(bases))
-		ac[trial] = make([]float64, len(bases))
+		nmse[trial] = make([]float64, len(bases))
+		acc[trial] = make([]float64, len(bases))
 		truth := gen(rng)
 		locs, err := cs.RandomLocations(rng, truth.N(), cfg.M)
 		if err != nil {
@@ -99,24 +99,25 @@ func A1(cfg A1Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			nm[trial][i] = cs.NMSE(truth.Vector(), res.Xhat)
-			ac[trial][i] = cs.Accuracy(truth.Vector(), res.Xhat)
+			nmse[trial][i] = cs.NMSE(truth.Vector(), res.Xhat)
+			acc[trial][i] = cs.Accuracy(truth.Vector(), res.Xhat)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sums := make([]float64, len(bases))
-	accs := make([]float64, len(bases))
+	nmseSums := make([]float64, len(bases))
+	accSums := make([]float64, len(bases))
 	for trial := 0; trial < cfg.Trials; trial++ {
 		for i := range bases {
-			sums[i] += nm[trial][i]
-			accs[i] += ac[trial][i]
+			nmseSums[i] += nmse[trial][i]
+			accSums[i] += acc[trial][i]
 		}
 	}
 	for i, bs := range bases {
-		t.AddRow(bs.name, f(sums[i]/float64(cfg.Trials)), f(accs[i]/float64(cfg.Trials)))
+		recordNMSE("a1", bs.name, nmseSums[i]/float64(cfg.Trials))
+		t.AddRow(bs.name, f(nmseSums[i]/float64(cfg.Trials)), f(accSums[i]/float64(cfg.Trials)))
 	}
 	t.AddNote("field process: two wandering plumes; PCA basis learned from %d prior traces; M=%d, K=%d", cfg.PriorT, cfg.M, cfg.K)
 	return t, nil

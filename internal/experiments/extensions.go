@@ -58,10 +58,10 @@ func A4(cfg A4Config) (*Table, error) {
 			return cs.BPDN(phi, locs, y, 2*cfg.Noise, 1e-6)
 		}},
 	}
-	nm := make([][]float64, cfg.Trials)
+	nmse := make([][]float64, cfg.Trials)
 	failed := make([][]bool, cfg.Trials)
 	err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, 4), func(trial int, rng *rand.Rand) error {
-		nm[trial] = make([]float64, len(decoders))
+		nmse[trial] = make([]float64, len(decoders))
 		failed[trial] = make([]bool, len(decoders))
 		alpha := make([]float64, cfg.N)
 		for _, j := range rng.Perm(cfg.N)[:cfg.K] {
@@ -85,21 +85,21 @@ func A4(cfg A4Config) (*Table, error) {
 				failed[trial][i] = true
 				continue
 			}
-			nm[trial][i] = cs.NMSE(x, res.Xhat)
+			nmse[trial][i] = cs.NMSE(x, res.Xhat)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sums := make([]float64, len(decoders))
+	nmseSums := make([]float64, len(decoders))
 	fails := make([]int, len(decoders))
 	for trial := 0; trial < cfg.Trials; trial++ {
 		for i := range decoders {
 			if failed[trial][i] {
 				fails[i]++
 			} else {
-				sums[i] += nm[trial][i]
+				nmseSums[i] += nmse[trial][i]
 			}
 		}
 	}
@@ -112,8 +112,9 @@ func A4(cfg A4Config) (*Table, error) {
 		ok := cfg.Trials - fails[i]
 		mean := math.NaN()
 		if ok > 0 {
-			mean = sums[i] / float64(ok)
+			mean = nmseSums[i] / float64(ok)
 		}
+		recordNMSE("a4", dec.name, mean)
 		t.AddRow(dec.name, f(mean), d(fails[i]))
 	}
 	t.AddNote("N=%d, M=%d, K=%d, noise sigma %.2f; BPDN box eps=2 sigma", cfg.N, cfg.M, cfg.K, cfg.Noise)

@@ -141,6 +141,7 @@ func Fig2(cfg Fig2Config) (*Table, error) {
 	t.AddRow("infrastructure fallback", d(res.InfraUsed))
 	t.AddRow("privacy denials", d(res.Denied))
 	t.AddRow("reconstruction NMSE", f(res.GlobalNMSE))
+	recordNMSE("f2", "global", res.GlobalNMSE)
 	t.AddRow("bus payload bytes", fmt.Sprintf("%d", sd.BusBytes()))
 	t.AddRow("node energy (mJ)", f2(sd.TotalEnergyMJ()))
 	t.AddRow("round-trip wall time", elapsed.Round(time.Microsecond).String())
@@ -285,6 +286,7 @@ func Fig4(cfg Fig4Config) (*Table, error) {
 			snrSum += snrs[trial]
 		}
 		tr := float64(cfg.Trials)
+		recordNMSE("f4", fmt.Sprintf("m%d", m), nmseSum/tr)
 		t.AddRow(d(m), fmt.Sprintf("%.1fx", cs.CompressionRatio(cfg.N, m)),
 			f(nmseSum/tr), f(accSum/tr), f2(snrSum/tr))
 	}
@@ -321,7 +323,7 @@ func Fig5(cfg Fig5Config) (*Table, error) {
 		Title:  "Per-zone adaptive compression vs uniform budget (Fig. 5)",
 		Header: []string{"trial", "uniform-NMSE", "adaptive-NMSE", "improvement"},
 	}
-	uniSum, adaSum := 0.0, 0.0
+	uniNMSESum, adaNMSESum := 0.0, 0.0
 	for trial := 0; trial < cfg.Trials; trial++ {
 		sd, err := core.New(core.Options{
 			FieldW: cfg.FieldW, FieldH: cfg.FieldH,
@@ -357,14 +359,16 @@ func Fig5(cfg Fig5Config) (*Table, error) {
 			return nil, err
 		}
 		sd.Close()
-		uniSum += uni.GlobalNMSE
-		adaSum += ada.GlobalNMSE
+		uniNMSESum += uni.GlobalNMSE
+		adaNMSESum += ada.GlobalNMSE
 		t.AddRow(d(trial), f(uni.GlobalNMSE), f(ada.GlobalNMSE),
 			fmt.Sprintf("%.1fx", uni.GlobalNMSE/math.Max(ada.GlobalNMSE, 1e-12)))
 	}
 	tr := float64(cfg.Trials)
+	recordNMSE("f5", "uniform", uniNMSESum/tr)
+	recordNMSE("f5", "adaptive", adaNMSESum/tr)
 	t.AddNote("mean uniform NMSE %.4f vs adaptive %.4f at equal total budget M=%d on a %dx%d field, %dx%d zones",
-		uniSum/tr, adaSum/tr, cfg.TotalM, cfg.FieldH, cfg.FieldW, cfg.ZoneRows, cfg.ZoneCols)
+		uniNMSESum/tr, adaNMSESum/tr, cfg.TotalM, cfg.FieldH, cfg.FieldW, cfg.ZoneRows, cfg.ZoneCols)
 	return t, nil
 }
 
@@ -391,7 +395,7 @@ func Fig6(cfg Fig6Config) (*Table, error) {
 		Title:  "CHS algorithm: convergence and OLS vs GLS under heterogeneous sensors",
 		Header: []string{"metric", "OLS", "GLS"},
 	}
-	olsSum, glsSum := 0.0, 0.0
+	olsNMSESum, glsNMSESum := 0.0, 0.0
 	var iterOLS, iterGLS int
 	for trial := 0; trial < cfg.Trials; trial++ {
 		alpha := make([]float64, cfg.N)
@@ -428,15 +432,17 @@ func Fig6(cfg Fig6Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		olsSum += cs.NMSE(x, ols.Xhat)
-		glsSum += cs.NMSE(x, gls.Xhat)
+		olsNMSESum += cs.NMSE(x, ols.Xhat)
+		glsNMSESum += cs.NMSE(x, gls.Xhat)
 		iterOLS += ols.Iterations
 		iterGLS += gls.Iterations
 	}
 	tr := float64(cfg.Trials)
-	t.AddRow("mean NMSE", f(olsSum/tr), f(glsSum/tr))
+	recordNMSE("f6", "ols", olsNMSESum/tr)
+	recordNMSE("f6", "gls", glsNMSESum/tr)
+	t.AddRow("mean NMSE", f(olsNMSESum/tr), f(glsNMSESum/tr))
 	t.AddRow("mean iterations", f2(float64(iterOLS)/tr), f2(float64(iterGLS)/tr))
-	t.AddRow("GLS improvement", "-", fmt.Sprintf("%.1fx", (olsSum/tr)/math.Max(glsSum/tr, 1e-12)))
+	t.AddRow("GLS improvement", "-", fmt.Sprintf("%.1fx", (olsNMSESum/tr)/math.Max(glsNMSESum/tr, 1e-12)))
 	t.AddNote("N=%d, M=%d, K=%d, 1/3 of sensors are noisy budget handsets (sigma 0.35 vs 0.02)", cfg.N, cfg.M, cfg.K)
 	return t, nil
 }

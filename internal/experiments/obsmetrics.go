@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// recordNMSE publishes a reconstruction-error summary under the canonical
+// metric name "experiments.<id>.nmse.<label>". Every error metric the
+// experiment tables print is an NMSE (normalized mean-square error,
+// cs.NMSE) — historically some locals were named ambiguously (nm, sums,
+// rmse-style shorthands), so this helper is the single naming chokepoint:
+// anything routed through it lands in the obs registry (and the -obs-out
+// snapshot) under one consistent scheme. It is a no-op until obs.Enable.
+func recordNMSE(id, label string, v float64) {
+	if !obs.Enabled() {
+		return
+	}
+	name := fmt.Sprintf("experiments.%s.nmse.%s", strings.ToLower(id), label)
+	obs.GetGauge(name).Set(v)
+}

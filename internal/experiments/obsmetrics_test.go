@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRecordNMSECanonicalName(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	recordNMSE("F9", "unit", 0.25)
+	if got := obs.GetGauge("experiments.f9.nmse.unit").Value(); got != 0.25 {
+		t.Fatalf("experiments.f9.nmse.unit = %g, want 0.25", got)
+	}
+}
+
+func TestRecordNMSEDisabledIsNoop(t *testing.T) {
+	recordNMSE("f9", "quiet", 0.5)
+	if got := obs.GetGauge("experiments.f9.nmse.quiet").Value(); got != 0 {
+		t.Fatalf("disabled recordNMSE wrote %g", got)
+	}
+}

@@ -12,6 +12,21 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Global traffic observability across all Network instances (no-ops until
+// obs.Enable). The per-network Stats counters remain the authoritative
+// per-node accounting; these mirror them so a live /metrics.json or an
+// experiments -obs-out dump shows the same byte totals as Totals().
+var (
+	obsTxMessages = obs.GetCounter("netsim.tx.messages")
+	obsTxBytes    = obs.GetCounter("netsim.tx.bytes")
+	obsRxMessages = obs.GetCounter("netsim.rx.messages")
+	obsRxBytes    = obs.GetCounter("netsim.rx.bytes")
+	obsLost       = obs.GetCounter("netsim.lost.messages")
+	obsLatency    = obs.GetHistogram("netsim.link.latency_ms", obs.LatencyBuckets)
 )
 
 // Message is one datagram between simulated nodes.
@@ -111,9 +126,12 @@ func (n *Network) Send(msg Message) error {
 	tx := n.stats[msg.From]
 	tx.TxMessages++
 	tx.TxBytes += size
+	obsTxMessages.Inc()
+	obsTxBytes.Add(int64(size))
 	if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
 		tx.Dropped++
 		n.mu.Unlock()
+		obsLost.Inc()
 		return nil // lost in transit; not an error
 	}
 	rx := n.stats[msg.To]
@@ -121,6 +139,9 @@ func (n *Network) Send(msg Message) error {
 	rx.RxBytes += size
 	n.simTime += link.LatencyMS
 	n.mu.Unlock()
+	obsRxMessages.Inc()
+	obsRxBytes.Add(int64(size))
+	obsLatency.Observe(link.LatencyMS)
 	if h != nil {
 		h(msg)
 	}

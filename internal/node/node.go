@@ -17,9 +17,18 @@ import (
 	"repro/internal/contextproc"
 	"repro/internal/energy"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/sensor"
 	"repro/internal/store"
+)
+
+// Node observability handles (no-ops until obs.Enable).
+var (
+	obsMeasurements  = obs.GetCounter("node.measure.count")
+	obsMeasureDenied = obs.GetCounter("node.measure.denied")
+	obsServedCmds    = obs.GetCounter("node.bus.commands")
+	obsContextRuns   = obs.GetCounter("node.context.runs")
 )
 
 // Environment supplies the physical ground truth a node's field sensors
@@ -153,8 +162,10 @@ func (n *Node) MeasureField(kind sensor.Kind) (FieldReading, error) {
 	}
 	_ = n.Battery.Drain(0.01) // sampling overhead; depletion checked by caller
 	_ = n.Store.AppendScalar(fmt.Sprintf("%s/%s", n.ID, kind), 0, value)
+	obsMeasurements.Inc()
 	shared, ok := n.Policy.Filter(kind, []float64{value})
 	if !ok {
+		obsMeasureDenied.Inc()
 		return FieldReading{NodeID: n.ID, GridIdx: idx, Denied: true}, nil
 	}
 	return FieldReading{NodeID: n.ID, GridIdx: idx, Value: shared[0], Sigma: sigma}, nil
@@ -244,6 +255,7 @@ func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (an
 			continue
 		}
 		_ = n.Meter.ChargeRx(n.Radio, len(msg.Payload))
+		obsServedCmds.Inc()
 		reply, err := fn(env.Body)
 		if err != nil || env.ReplyTo == "" {
 			continue
@@ -301,6 +313,7 @@ func (n *Node) SenseContext(windowLen int, rateHz float64, pipe *contextproc.Pip
 	if len(accels) == 0 {
 		return ContextReport{}, fmt.Errorf("node %s: no accelerometer", n.ID)
 	}
+	obsContextRuns.Inc()
 	window, err := accels[0].CollectAxis(windowLen, 2)
 	if err != nil {
 		return ContextReport{}, err

@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+// The overhead guard in scripts/check.sh runs BenchmarkObsDisabledCounter
+// and BenchmarkObsEnabledCounter and fails the build if the disabled path
+// allocates or exceeds a few ns/op — the contract that lets the hot paths
+// (bus publish, netsim delivery, decoders) stay instrumented permanently.
+
+func BenchmarkObsDisabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.disabled")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != 0 {
+		b.Fatal("disabled counter recorded")
+	}
+}
+
+func BenchmarkObsEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("bench.enabled")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsDisabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench.h", LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.5)
+	}
+}
+
+func BenchmarkObsEnabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("bench.h", LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.5)
+	}
+}
+
+func BenchmarkObsDisabledSpan(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("bench").Finish()
+	}
+}
+
+func BenchmarkObsEnabledSpan(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("bench").Finish()
+	}
+}

@@ -14,6 +14,15 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Store observability handles (no-ops until obs.Enable).
+var (
+	obsAppends   = obs.GetCounter("store.append.records")
+	obsEvictions = obs.GetCounter("store.evicted.records")
+	obsQueries   = obs.GetCounter("store.query.count")
 )
 
 // Record is one logged observation. T is simulation time in seconds.
@@ -59,8 +68,10 @@ func (s *Store) Append(series string, r Record) error {
 	if s.maxPerKey > 0 && len(recs) > s.maxPerKey {
 		drop := len(recs) - s.maxPerKey
 		recs = append(recs[:0:0], recs[drop:]...)
+		obsEvictions.Add(int64(drop))
 	}
 	s.series[series] = recs
+	obsAppends.Inc()
 	return nil
 }
 
@@ -71,6 +82,7 @@ func (s *Store) AppendScalar(series string, t, v float64) error {
 
 // Query returns records of a series with T in [from, to], in time order.
 func (s *Store) Query(series string, from, to float64) ([]Record, error) {
+	obsQueries.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	recs, ok := s.series[series]

@@ -21,6 +21,10 @@ go test -run '^$' -bench 'BenchmarkOMP256M30|BenchmarkIHT256|BenchmarkCoSaMP256'
     -benchmem -benchtime "$BENCHTIME" ./internal/cs/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMul64|BenchmarkQR128x32' \
     -benchmem -benchtime "$BENCHTIME" ./internal/mat/ | tee -a "$TMP"
+# Observability overhead: the disabled path must stay ~free, the enabled
+# path cheap; a fixed large iteration count keeps sub-ns timings stable.
+go test -run '^$' -bench 'BenchmarkObsDisabledCounter|BenchmarkObsEnabledCounter' \
+    -benchmem -benchtime "${OBS_BENCHTIME:-2000000x}" ./internal/obs/ | tee -a "$TMP"
 
 awk -v go_version="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }

@@ -11,4 +11,22 @@ go vet ./...
 echo "== go test -race =="
 GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
 
+echo "== obs overhead guard =="
+# The disabled instrumentation path must stay free: if a counter op on a
+# disabled registry ever allocates, or drifts past 10 ns/op, the whole
+# "permanently instrumented hot paths" contract of DESIGN.md §6 is broken.
+OBS_BENCH="$(go test -run '^$' -bench 'BenchmarkObsDisabledCounter|BenchmarkObsEnabledCounter' \
+    -benchmem -benchtime 2000000x ./internal/obs/)"
+echo "$OBS_BENCH"
+echo "$OBS_BENCH" | awk '
+/^BenchmarkObsDisabledCounter/ {
+    if ($7 != 0) { printf "FAIL: disabled counter path allocates (%s allocs/op)\n", $7; bad = 1 }
+    if ($3 + 0 > 10) { printf "FAIL: disabled counter path too slow (%s ns/op > 10)\n", $3; bad = 1 }
+    seen = 1
+}
+END {
+    if (!seen) { print "FAIL: BenchmarkObsDisabledCounter did not run"; bad = 1 }
+    exit bad
+}'
+
 echo "all checks passed"
