@@ -1,0 +1,105 @@
+// Command sdlint runs SenseDroid's project-invariant static-analysis
+// suite (internal/lint) over the module.
+//
+// Usage:
+//
+//	go run ./cmd/sdlint ./...
+//	go run ./cmd/sdlint ./internal/cs ./internal/bus
+//
+// Diagnostics print one per line as path:line:col: message (check) and
+// are sorted by position. Exit status: 0 clean, 1 findings (or no
+// packages matched — a silent no-op gate is worse than a loud one),
+// 2 load/usage errors. The final "sdlint: analyzed N packages" summary
+// on stderr is parsed by scripts/check.sh as a zero-package guard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-root dir] <packages>\n  e.g.: sdlint ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(run(*root, flag.Args()))
+}
+
+func run(root string, patterns []string) int {
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdlint:", err)
+			return 2
+		}
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 2
+	}
+	res := lint.Run(pkgs, lint.ProjectAnalyzers())
+	relativize(res)
+	if err := lint.WriteDiagnostics(os.Stdout, res.Diagnostics); err != nil {
+		fmt.Fprintln(os.Stderr, "sdlint:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "sdlint: analyzed %d packages, %d findings, %d suppressed\n",
+		res.Packages, len(res.Diagnostics), res.Suppressed)
+	if res.Packages == 0 {
+		fmt.Fprintln(os.Stderr, "sdlint: no packages matched the given patterns")
+		return 1
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file names relative to the working
+// directory when possible, for clickable compiler-style output.
+func relativize(res *lint.Result) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range res.Diagnostics {
+		if rel, err := filepath.Rel(wd, res.Diagnostics[i].Pos.Filename); err == nil && len(rel) < len(res.Diagnostics[i].Pos.Filename) {
+			res.Diagnostics[i].Pos.Filename = rel
+		}
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found at or above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -72,7 +72,7 @@ type Broker struct {
 	selection SelectionPolicy
 
 	mu    sync.Mutex
-	nodes []string
+	nodes []string // guarded by mu
 }
 
 // New creates a broker for a NanoCloud whose nodes observe env.

@@ -38,6 +38,7 @@ func (s *Subscription) noteDrop() {
 	s.dropped.Add(1)
 	obsDropped.Inc()
 	dropWarnOnce.Do(func() {
+		//lint:ignore printban deliberate once-per-process operator warning; the flood-free contract is pinned by the drop-warning regression test
 		log.Printf("bus: subscriber %q buffer full; dropping messages (see bus.deliver.dropped metric and Subscription.Dropped; this warning is logged once)", s.pattern)
 	})
 }
@@ -75,11 +76,11 @@ func (s *Subscription) Unsubscribe() { s.bus.unsubscribe(s) }
 // Bus is an in-process pub/sub broker, safe for concurrent use.
 type Bus struct {
 	mu       sync.RWMutex
-	subs     map[uint64]*Subscription
-	nextID   uint64
-	hooks    []Hook
-	retained map[string]Message // last-value cache per topic
-	closed   bool
+	subs     map[uint64]*Subscription // guarded by mu
+	nextID   uint64                   // guarded by mu
+	hooks    []Hook                   // guarded by mu
+	retained map[string]Message       // guarded by mu; last-value cache per topic
+	closed   bool                     // guarded by mu
 }
 
 // ErrClosed reports use of a closed bus.
@@ -265,7 +266,19 @@ func (b *Bus) Publish(topic string, payload []byte) error {
 // topic prefix into obs counters ("bus.topic.<prefix>.messages" and
 // ".bytes") — the per-pipeline throughput view. Attach with AddHook; it
 // costs one Enabled check per publish while obs is off.
+//
+// Counter handles are interned once per prefix in a hook-local cache, so
+// the steady-state enabled path is one small map lookup — no registry
+// RWMutex traffic and no per-publish name allocation.
 func ObsHook() Hook {
+	type prefixCounters struct {
+		messages *obs.Counter
+		bytes    *obs.Counter
+	}
+	var (
+		mu      sync.Mutex
+		handles = map[string]prefixCounters{}
+	)
 	return func(topic string, payloadBytes int) {
 		if !obs.Enabled() {
 			return
@@ -274,8 +287,20 @@ func ObsHook() Hook {
 		if i := strings.IndexByte(topic, '/'); i >= 0 {
 			prefix = topic[:i]
 		}
-		obs.GetCounter("bus.topic." + prefix + ".messages").Inc()
-		obs.GetCounter("bus.topic." + prefix + ".bytes").Add(int64(payloadBytes))
+		mu.Lock()
+		h, ok := handles[prefix]
+		if !ok {
+			h = prefixCounters{
+				//lint:ignore obshot cold path: the handle is interned once per prefix; every later publish hits the local cache
+				messages: obs.GetCounter("bus.topic." + prefix + ".messages"),
+				//lint:ignore obshot cold path: the handle is interned once per prefix; every later publish hits the local cache
+				bytes: obs.GetCounter("bus.topic." + prefix + ".bytes"),
+			}
+			handles[prefix] = h
+		}
+		mu.Unlock()
+		h.messages.Inc()
+		h.bytes.Add(int64(payloadBytes))
 	}
 }
 

@@ -1,0 +1,53 @@
+package bus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseFrame hammers the TCP wire decoder with arbitrary lines. The
+// properties: parseFrame never panics, never accepts a frame the bus
+// would have to reject (unknown op, invalid topic or pattern), and any
+// frame it does accept survives the json.Encoder encode / parseFrame
+// decode round trip that the server and client loops rely on.
+func FuzzParseFrame(f *testing.F) {
+	f.Add([]byte(`{"op":"pub","topic":"sense/temp/3","payload":"aGVsbG8="}`))
+	f.Add([]byte(`{"op":"sub","topic":"sense/#"}`))
+	f.Add([]byte(`{"op":"msg","topic":"sense/temp/3/reply","payload":""}`))
+	f.Add([]byte(`{"op":"pub","topic":"bad//topic"}`))
+	f.Add([]byte(`{"op":"sub","topic":"a/#/b"}`))
+	f.Add([]byte(`{"op":"nope","topic":"a"}`))
+	f.Add([]byte(`{"op":"pub","topic":"a","payload":"*not base64*"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := parseFrame(line)
+		if err != nil {
+			return
+		}
+		switch fr.Op {
+		case "pub", "msg":
+			if !ValidTopic(fr.Topic) {
+				t.Fatalf("accepted %s frame with invalid topic %q", fr.Op, fr.Topic)
+			}
+		case "sub":
+			if !ValidPattern(fr.Topic) {
+				t.Fatalf("accepted sub frame with invalid pattern %q", fr.Topic)
+			}
+		default:
+			t.Fatalf("accepted unknown op %q", fr.Op)
+		}
+		encoded, err := json.Marshal(fr)
+		if err != nil {
+			t.Fatalf("marshal of accepted frame failed: %v", err)
+		}
+		rt, err := parseFrame(encoded)
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", encoded, err)
+		}
+		if rt.Op != fr.Op || rt.Topic != fr.Topic || !bytes.Equal(rt.Payload, fr.Payload) {
+			t.Fatalf("round trip mutated frame: %+v -> %+v", fr, rt)
+		}
+	})
+}

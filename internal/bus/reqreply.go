@@ -78,6 +78,7 @@ func Respond(b *Bus, pattern string, fn func(topic string, body []byte) (any, er
 			continue
 		}
 		// Best-effort reply; requester may have timed out.
+		//lint:ignore errcheck reply delivery is best-effort by contract; a failed publish only means the requester is gone or the bus closed
 		_ = b.Publish(env.ReplyTo, raw)
 	}
 	return nil

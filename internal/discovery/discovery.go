@@ -26,9 +26,9 @@ type Entry struct {
 // A zero TTL on Announce uses the registry default.
 type Registry struct {
 	mu         sync.Mutex
-	entries    map[string]Entry
-	defaultTTL time.Duration
-	now        func() time.Time // injectable clock for tests
+	entries    map[string]Entry // guarded by mu
+	defaultTTL time.Duration    // immutable after NewRegistry
+	now        func() time.Time // immutable after NewRegistry; injectable clock for tests
 }
 
 // ErrNotFound reports a lookup miss.

@@ -43,9 +43,13 @@ func C1(cfg C1Config) (*Table, error) {
 		m := cs.TheoreticalM(cfg.K, n, 1.2)
 		// Raw: node i (1-indexed from the far end) transmits i values.
 		raw := netsim.New(cfg.Seed)
-		raw.Register("sink", nil)
+		if err := raw.Register("sink", nil); err != nil {
+			return nil, err
+		}
 		for i := 0; i < n; i++ {
-			raw.Register(fmt.Sprintf("n%d", i), nil)
+			if err := raw.Register(fmt.Sprintf("n%d", i), nil); err != nil {
+				return nil, err
+			}
 		}
 		for i := 0; i < n; i++ {
 			// Node i forwards its own + all upstream readings one hop: i+1 values.
@@ -54,16 +58,22 @@ func C1(cfg C1Config) (*Table, error) {
 				to = fmt.Sprintf("n%d", i+1)
 			}
 			for v := 0; v <= i; v++ {
-				raw.Send(netsim.Message{From: fmt.Sprintf("n%d", i), To: to, Payload: []byte("v")})
+				if err := raw.Send(netsim.Message{From: fmt.Sprintf("n%d", i), To: to, Payload: []byte("v")}); err != nil {
+					return nil, err
+				}
 			}
 		}
 		rawTx := raw.Totals().TxMessages
 
 		// Compressive: every node transmits exactly M combined values.
 		comp := netsim.New(cfg.Seed)
-		comp.Register("sink", nil)
+		if err := comp.Register("sink", nil); err != nil {
+			return nil, err
+		}
 		for i := 0; i < n; i++ {
-			comp.Register(fmt.Sprintf("n%d", i), nil)
+			if err := comp.Register(fmt.Sprintf("n%d", i), nil); err != nil {
+				return nil, err
+			}
 		}
 		for i := 0; i < n; i++ {
 			to := "sink"
@@ -71,7 +81,9 @@ func C1(cfg C1Config) (*Table, error) {
 				to = fmt.Sprintf("n%d", i+1)
 			}
 			for v := 0; v < m; v++ {
-				comp.Send(netsim.Message{From: fmt.Sprintf("n%d", i), To: to, Payload: []byte("v")})
+				if err := comp.Send(netsim.Message{From: fmt.Sprintf("n%d", i), To: to, Payload: []byte("v")}); err != nil {
+					return nil, err
+				}
 			}
 		}
 		csTx := comp.Totals().TxMessages

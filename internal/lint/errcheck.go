@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is errcheck-lite: inside the library packages matched by
+// inScope, an error returned by a call may not be silently discarded.
+//
+// Flagged forms:
+//
+//   - a call used as a bare statement whose results include an error
+//     ("conn.Close()", "enc.Encode(v)")
+//   - an assignment that throws every result away and one of them is an
+//     error ("_ = f()", "_, _ = io.Copy(dst, src)")
+//
+// The escape hatch is explicit and audited: keep the blank assignment
+// and add "//lint:ignore errcheck <reason>" on the same line or the line
+// above. Deferred calls are exempt (flow of a deferred error is a
+// different, noisier discussion), as are methods of bytes.Buffer and
+// strings.Builder and fmt.Fprint* into those two types, whose errors are
+// structurally always nil.
+func ErrCheck(inScope func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck",
+		Doc:  "no silently discarded error returns in library packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path) {
+			return
+		}
+		inspectFiles(pass, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if ok && discardsError(pass, call) {
+					pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign to _ with a lint:ignore reason", calleeLabel(pass, call))
+				}
+			case *ast.AssignStmt:
+				if !allBlank(stmt.Lhs) || len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+				if ok && discardsError(pass, call) {
+					pass.Reportf(stmt.Pos(), "error result of %s is discarded to _ without a lint:ignore reason", calleeLabel(pass, call))
+				}
+			}
+			return true
+		})
+	}
+	return a
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+func discardsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok || !hasErrorResult(tv.Type) {
+		return false
+	}
+	return !infallibleCallee(pass, call)
+}
+
+// infallibleCallee recognizes the handful of stdlib calls whose error is
+// always nil by documented contract.
+func infallibleCallee(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	// Methods of bytes.Buffer / strings.Builder never fail.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if isNamed(t, "bytes", "Buffer") || isNamed(t, "strings", "Builder") {
+			return true
+		}
+	}
+	// fmt.Fprint* only propagates the writer's error; writing into a
+	// Buffer/Builder cannot fail.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			tv, ok := info.Types[call.Args[0]]
+			if ok && (isNamed(tv.Type, "bytes", "Buffer") || isNamed(tv.Type, "strings", "Builder")) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Pkg.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}

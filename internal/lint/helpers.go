@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall reports whether the call's callee is the package-level
+// function pkgPath.name, resolved through the type info (so aliased
+// imports and shadowed identifiers are handled correctly). It returns
+// the selector for position reporting.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, sel *ast.SelectorExpr, ok bool) {
+	s, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", nil, false
+	}
+	id, isIdent := s.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", nil, false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", nil, false
+	}
+	return pn.Imported().Path(), s.Sel.Name, s, true
+}
+
+// calleeFunc resolves the call's callee to a *types.Func (package-level
+// function or method) if possible.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// hasErrorResult reports whether t (a call's result type) is or contains
+// the built-in error type.
+func hasErrorResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// namedType unwraps pointers and returns the named type beneath, if any.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// pathMatcher builds an import-path predicate from exact paths and
+// "prefix/..." patterns.
+func pathMatcher(patterns ...string) func(string) bool {
+	exact := map[string]bool{}
+	var prefixes []string
+	for _, p := range patterns {
+		if pre, ok := cutDots(p); ok {
+			prefixes = append(prefixes, pre)
+		} else {
+			exact[p] = true
+		}
+	}
+	return func(path string) bool {
+		if exact[path] {
+			return true
+		}
+		for _, pre := range prefixes {
+			if path == pre || len(path) > len(pre) && path[:len(pre)] == pre && path[len(pre)] == '/' {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func cutDots(p string) (string, bool) {
+	const suf = "/..."
+	if len(p) > len(suf) && p[len(p)-len(suf):] == suf {
+		return p[:len(p)-len(suf)], true
+	}
+	return p, false
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression mechanism: a comment of the form
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// silences diagnostics of the named check(s) on the directive's own line
+// (trailing comment) or on the line immediately below it (a directive
+// comment on its own line above the offending statement). Anywhere else
+// the directive has no effect — suppression must sit next to what it
+// suppresses, so a refactor that moves the code re-surfaces the finding.
+//
+// The reason is mandatory. A directive with no check name or no reason
+// is malformed; it suppresses nothing and is itself reported under the
+// "sdlint" check.
+
+const ignorePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos    token.Position
+	checks []string
+	reason string
+	ok     bool // well-formed
+}
+
+func parseDirective(text string, pos token.Position) (directive, bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return directive{}, false
+	}
+	rest := text[len(ignorePrefix):]
+	// Require a space (or end) after the prefix so "//lint:ignoreXYZ" is
+	// not a directive at all.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return directive{}, false
+	}
+	fields := strings.Fields(rest)
+	d := directive{pos: pos}
+	if len(fields) >= 2 {
+		d.checks = strings.Split(fields[0], ",")
+		d.reason = strings.Join(fields[1:], " ")
+		d.ok = true
+	}
+	return d, true
+}
+
+// directivesByLine indexes every well-formed directive of a package by
+// (filename, line).
+type lineKey struct {
+	file string
+	line int
+}
+
+func collectDirectives(pkg *Package) (byLine map[lineKey][]directive, malformed []directive) {
+	byLine = map[lineKey][]directive{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				d, isDirective := parseDirective(c.Text, pos)
+				if !isDirective {
+					continue
+				}
+				if !d.ok {
+					malformed = append(malformed, d)
+					continue
+				}
+				k := lineKey{file: pos.Filename, line: pos.Line}
+				byLine[k] = append(byLine[k], d)
+			}
+		}
+	}
+	return byLine, malformed
+}
+
+// malformedDirectives reports ill-formed ignore comments as diagnostics
+// so they cannot silently suppress nothing while looking authoritative.
+func malformedDirectives(pkg *Package) []Diagnostic {
+	_, bad := collectDirectives(pkg)
+	diags := make([]Diagnostic, 0, len(bad))
+	for _, d := range bad {
+		diags = append(diags, Diagnostic{
+			Pos:     d.pos,
+			Check:   "sdlint",
+			Message: "malformed lint:ignore directive: want //lint:ignore <check> <reason>",
+		})
+	}
+	return diags
+}
+
+// suppress drops diagnostics covered by a directive on the same line or
+// the line immediately above, and returns the survivors plus the count
+// of silenced findings.
+func suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	byLine := map[lineKey][]directive{}
+	for _, pkg := range pkgs {
+		dirs, _ := collectDirectives(pkg)
+		for k, v := range dirs {
+			byLine[k] = append(byLine[k], v...)
+		}
+	}
+	kept = diags[:0:0]
+	for _, d := range diags {
+		if d.Check != "sdlint" && isSuppressed(byLine, d) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+func isSuppressed(byLine map[lineKey][]directive, d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byLine[lineKey{file: d.Pos.Filename, line: line}] {
+			for _, c := range dir.checks {
+				if c == d.Check {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

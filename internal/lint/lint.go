@@ -1,0 +1,133 @@
+// Package lint is SenseDroid's project-invariant static-analysis engine.
+//
+// The middleware's core guarantees — deterministic parallel fan-out,
+// simulated time and transport instead of wall-clock and RF, and the
+// "permanently instrumented, zero-cost when disabled" observability
+// contract — are architectural invariants that ordinary tests cannot
+// economically pin: they are properties of *all* code, including code
+// that has not been written yet. This package machine-checks them.
+//
+// The engine is stdlib-only (go/ast + go/parser + go/types; no
+// golang.org/x/tools), matching the module's zero-dependency policy. It
+// loads packages itself (see Loader), type-checks them with a recursive
+// module-local importer, runs a set of Analyzers over each package, and
+// reports Diagnostics in "path:line:col" form, sorted by position so the
+// output is stable. A finding can be suppressed — with an audit trail —
+// by a "//lint:ignore <check> <reason>" comment on the offending line or
+// the line immediately above it (see ignore.go).
+//
+// cmd/sdlint is the CLI front end; scripts/check.sh gates the build on a
+// clean run.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and
+// a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the diagnostic in the conventional compiler style:
+// path:line:col: message (check).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Analyzer is one named invariant check. Run inspects a type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string // short identifier used in output and //lint:ignore
+	Doc  string // one-line description of the guarded invariant
+	Run  func(*Pass)
+}
+
+// Pass hands one package to one analyzer and collects its findings.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Fset returns the file set the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	Diagnostics []Diagnostic // post-suppression, sorted by position
+	Packages    int          // packages analyzed (the zero-guard in check.sh watches this)
+	Suppressed  int          // diagnostics silenced by //lint:ignore directives
+}
+
+// Run analyzes every package with every analyzer, applies //lint:ignore
+// suppression, and returns position-sorted diagnostics. Malformed ignore
+// directives (missing check name or reason) are themselves reported under
+// the "sdlint" check so they cannot silently rot.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+		diags = append(diags, malformedDirectives(pkg)...)
+	}
+	kept, suppressed := suppress(pkgs, diags)
+	SortDiagnostics(kept)
+	return &Result{Diagnostics: kept, Packages: len(pkgs), Suppressed: suppressed}
+}
+
+// SortDiagnostics orders by file, then line, then column, then check —
+// a total order, so repeated runs print byte-identical output.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteDiagnostics prints one diagnostic per line to w.
+func WriteDiagnostics(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inspectFiles walks every file of the pass's package.
+func inspectFiles(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

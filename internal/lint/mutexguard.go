@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces documented lock discipline: a struct field whose
+// doc or line comment says "guarded by <mu>" may only be touched inside
+// methods of that struct that lock <mu> (Lock or RLock, directly on the
+// receiver) somewhere in their body. This pins exactly the class of bug
+// the netsim -race stress test can only catch probabilistically: a new
+// accessor that forgets the mutex.
+//
+// Conventions the check understands:
+//
+//   - <mu> must be a sibling field of type sync.Mutex, sync.RWMutex, or
+//     a pointer to either; naming a non-existent or non-mutex field is
+//     itself reported.
+//   - Methods whose name ends in "Locked" are exempt — the suffix is
+//     the project's documented "caller holds the lock" convention.
+//   - The check is flow-insensitive (a lock anywhere in the method
+//     satisfies it) and only inspects methods of the annotated type;
+//     construction before the value escapes needs no lock and plain
+//     functions are out of scope.
+var mutexGuardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func MutexGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexguard",
+		Doc:  "fields documented as 'guarded by mu' may only be accessed in methods that lock mu",
+	}
+	a.Run = func(pass *Pass) {
+		guarded := collectGuardedFields(pass)
+		if len(guarded) == 0 {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				checkGuardedMethod(pass, guarded, fd)
+			}
+		}
+	}
+	return a
+}
+
+// guardedFields maps a struct type name to field name to guarding mutex
+// field name.
+type guardedFields map[string]map[string]string
+
+func collectGuardedFields(pass *Pass) guardedFields {
+	out := guardedFields{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !structHasMutexField(pass, st, mu) {
+					pass.Reportf(field.Pos(), "guarded-by comment names %q, which is not a sync.Mutex/RWMutex field of %s", mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					m := out[ts.Name.Name]
+					if m == nil {
+						m = map[string]string{}
+						out[ts.Name.Name] = m
+					}
+					m[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := mutexGuardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func structHasMutexField(pass *Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok {
+				return false
+			}
+			return isNamed(tv.Type, "sync", "Mutex") || isNamed(tv.Type, "sync", "RWMutex")
+		}
+	}
+	return false
+}
+
+func checkGuardedMethod(pass *Pass, guarded guardedFields, fd *ast.FuncDecl) {
+	recvType := receiverTypeName(fd)
+	fields := guarded[recvType]
+	if fields == nil {
+		return
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return
+	}
+	recvObj := pass.Pkg.Info.Defs[recv.Names[0]]
+	if recvObj == nil {
+		return
+	}
+	locked := lockedMutexes(pass, fd, recvObj)
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != recvObj {
+			return true
+		}
+		mu, isGuarded := fields[sel.Sel.Name]
+		if !isGuarded || locked[mu] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, but method %s does not lock it (lock %s.%s, or suffix the method name with Locked if the caller holds it)",
+			recvType, sel.Sel.Name, mu, fd.Name.Name, id.Name, mu)
+		return true
+	})
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// lockedMutexes returns the set of receiver mutex fields the method
+// locks anywhere in its body: recv.mu.Lock(), recv.mu.RLock(), either
+// directly or in a defer.
+func lockedMutexes(pass *Pass, fd *ast.FuncDecl, recvObj types.Object) map[string]bool {
+	info := pass.Pkg.Info
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != recvObj {
+			return true
+		}
+		locked[inner.Sel.Name] = true
+		return true
+	})
+	return locked
+}

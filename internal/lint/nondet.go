@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism guards the byte-identical-output contract of DESIGN.md
+// §5: inside the deterministic packages (the decode pipeline and the
+// experiment drivers), all randomness must flow from an explicitly
+// seeded *rand.Rand, no code may read the wall clock, and output built
+// while ranging over a map must not depend on iteration order.
+//
+// Three rules, applied only to packages matched by inScope:
+//
+//  1. No global math/rand state: rand.Intn, rand.Float64, rand.Perm,
+//     rand.Seed, ... are banned. rand.New / rand.NewSource (the seeded
+//     form) remain allowed.
+//  2. No wall clock: time.Now, time.Since, time.Sleep, timers and
+//     tickers are banned; simulated time or seed-derived schedules are
+//     the allowed forms.
+//  3. A `for ... range m` over a map whose body appends to a slice
+//     declared outside the loop (or sends on a channel) produces
+//     order-dependent output — unless the collected slice is later
+//     passed to a sort call in the same function, which is the
+//     canonical collect-then-sort idiom.
+func Nondeterminism(inScope func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "nondeterminism",
+		Doc:  "deterministic packages must not use global math/rand, the wall clock, or map-order-dependent output",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkMapRanges(pass, fd)
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkNondetCall(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// Global math/rand functions that draw from the shared, unseedable (or
+// process-globally seeded) source. rand.New, rand.NewSource and
+// rand.NewZipf construct the allowed explicit-seed form.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 additions (same global-state hazard).
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+	"N": true,
+}
+
+// Wall-clock entry points. A deterministic package has no business
+// observing real time at all; durations derived from the netsim clock or
+// printed by cmd/ wrappers live outside these packages.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true, "Sleep": true,
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	pkgPath, name, sel, ok := pkgFuncCall(pass.Pkg.Info, call)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "math/rand", "math/rand/v2":
+		if bannedRandFuncs[name] {
+			pass.Reportf(sel.Pos(), "global %s.%s in deterministic package; use an explicitly seeded *rand.Rand", pathBase(pkgPath), name)
+		}
+	case "time":
+		if bannedTimeFuncs[name] {
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in deterministic package; derive timing from the simulated clock or drop it", name)
+		}
+	}
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// checkMapRanges flags order-dependent accumulation inside map ranges of
+// one function body.
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fd, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(stmt.Pos(), "channel send inside map range: receiver observes nondeterministic iteration order; collect and sort keys first")
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				target := rootIdent(stmt.Lhs[i])
+				if target == nil {
+					continue
+				}
+				obj := info.ObjectOf(target)
+				if obj == nil || !declaredOutside(obj, rng) {
+					continue
+				}
+				if sortedLater(info, fd, rng, obj) {
+					continue
+				}
+				pass.Reportf(stmt.Pos(), "append to %s inside map range makes its element order nondeterministic; sort it afterwards or iterate sorted keys", target.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdent digs through index/selector expressions to the base ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range statement in the same function — the canonical
+// collect-keys-then-sort idiom, which is order-independent.
+func sortedLater(info *types.Info, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, _, _, ok := pkgFuncCall(info, call)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && info.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

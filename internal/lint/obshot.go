@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsHot guards the "permanently instrumented, zero-cost when disabled"
+// contract of DESIGN.md §6 in the hot-path packages: instrumentation
+// must go through handles hoisted into package-level vars (whose nil-safe
+// methods cost one atomic load when the registry is off), never through
+// per-event registry lookups or per-event name formatting.
+//
+// Two rules, applied to packages matched by inScope:
+//
+//  1. obs.GetCounter / GetGauge / GetHistogram (and the equivalent
+//     Registry methods Counter/Gauge/Histogram) must not be called
+//     inside a function body — hoist the handle into a package-level
+//     var. The lookup is an interned map access behind an RWMutex;
+//     cheap once, hostile per event.
+//  2. No argument of any call into the obs package may be built with
+//     fmt.Sprintf — a per-event Sprintf allocates on the hot path even
+//     while the registry is disabled, which is exactly what the
+//     disabled-path benchmarks forbid.
+func ObsHot(inScope func(pkgPath string) bool, obsPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "obshot",
+		Doc:  "hot-path obs usage must go through hoisted handles; no per-call registry lookups or fmt.Sprintf labels",
+	}
+	lookupFuncs := map[string]bool{"GetCounter": true, "GetGauge": true, "GetHistogram": true}
+	lookupMethods := map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path) || pass.Pkg.Path == obsPath {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					// Package-level var initializers are the sanctioned
+					// home for handle lookups.
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(info, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+						return true
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					if lookupFuncs[fn.Name()] || (lookupMethods[fn.Name()] && sig != nil && sig.Recv() != nil) {
+						pass.Reportf(call.Pos(), "obs handle lookup %s inside a function body in a hot-path package; hoist the handle into a package-level var", fn.Name())
+					}
+					for _, arg := range call.Args {
+						if argCall, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+							if p, name, _, ok := pkgFuncCall(info, argCall); ok && p == "fmt" && name == "Sprintf" {
+								pass.Reportf(arg.Pos(), "fmt.Sprintf builds an obs metric name per call; precompute the name (hot-path allocation while disabled)")
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PrintBan keeps library packages silent: no fmt.Print*, no log
+// package-level printing, no builtin print/println. Library code returns
+// values or writes to an injected io.Writer; stdout/stderr belong to the
+// cmd/ binaries (package main, exempt by construction), the experiments
+// table printers named in allowedPkgs, and test files (never loaded).
+//
+// Writing to an explicit writer (fmt.Fprintf(w, ...)) is always fine —
+// the ban is on ambient output streams, not on formatting.
+func PrintBan(allowed func(pkgPath string) bool) *Analyzer {
+	a := &Analyzer{
+		Name: "printban",
+		Doc:  "no fmt.Print*/log.Print* in library packages; print only from cmd/, allowlisted printers, and tests",
+	}
+	bannedFmt := map[string]bool{"Print": true, "Printf": true, "Println": true}
+	bannedLog := map[string]bool{
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Name == "main" || allowed(pass.Pkg.Path) {
+			return
+		}
+		info := pass.Pkg.Info
+		inspectFiles(pass, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					pass.Reportf(call.Pos(), "builtin %s in library package; return values or write to an injected io.Writer", b.Name())
+				}
+				return true
+			}
+			pkgPath, name, sel, ok := pkgFuncCall(info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "fmt" && bannedFmt[name]:
+				pass.Reportf(sel.Pos(), "fmt.%s writes to stdout from a library package; return values or write to an injected io.Writer", name)
+			case pkgPath == "log" && bannedLog[name]:
+				pass.Reportf(sel.Pos(), "log.%s in library package; surface errors to the caller or record an obs metric", name)
+			}
+			return true
+		})
+	}
+	return a
+}

@@ -1,0 +1,57 @@
+package lint
+
+// Project wiring: which invariant applies to which part of the SenseDroid
+// tree. cmd/sdlint and the lint tests both build their analyzer set here
+// so the CLI and the test suite can never drift apart.
+
+// DeterministicPkgs are the packages under the byte-identical-output
+// contract of DESIGN.md §5: the decode pipeline and the experiment
+// drivers. Reconstructions and tables from these packages must be
+// reproducible from seeds alone.
+var DeterministicPkgs = []string{
+	"repro/internal/cs",
+	"repro/internal/mat",
+	"repro/internal/basis",
+	"repro/internal/field",
+	"repro/internal/experiments",
+	"repro/internal/cloud",
+}
+
+// HotPathPkgs carry permanent instrumentation on per-event paths (bus
+// publish, netsim delivery, decode iterations, store appends) and are
+// held to the zero-cost-when-disabled obs contract of DESIGN.md §6.
+var HotPathPkgs = []string{
+	"repro/internal/bus",
+	"repro/internal/netsim",
+	"repro/internal/broker",
+	"repro/internal/node",
+	"repro/internal/store",
+	"repro/internal/cloud",
+	"repro/internal/core",
+	"repro/internal/cs",
+	"repro/internal/mat",
+}
+
+// ErrcheckScope: every library package. cmd/ and examples/ are package
+// main and carry their own error handling idiom (often log.Fatal).
+var ErrcheckScope = []string{"repro/internal/..."}
+
+// PrintAllowedPkgs may print to ambient streams despite being library
+// packages. Currently empty: the experiments table printers already take
+// an io.Writer, which is the preferred shape. Extend deliberately.
+var PrintAllowedPkgs = []string{}
+
+// ObsPath is the observability package the obshot check guards calls into.
+const ObsPath = "repro/internal/obs"
+
+// ProjectAnalyzers returns the full sdlint analyzer suite with the
+// project's scoping baked in.
+func ProjectAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism(pathMatcher(DeterministicPkgs...)),
+		MutexGuard(),
+		ObsHot(pathMatcher(HotPathPkgs...), ObsPath),
+		ErrCheck(pathMatcher(ErrcheckScope...)),
+		PrintBan(pathMatcher(PrintAllowedPkgs...)),
+	}
+}

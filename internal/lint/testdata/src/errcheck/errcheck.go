@@ -1,0 +1,62 @@
+// Package errcheck is sdlint golden-test input for the errcheck-lite
+// analyzer.
+package errcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error        { return errors.New("boom") }
+func pair() (int, error) { return 0, errors.New("boom") }
+func value() int         { return 1 }
+func multi() (a, b int)  { return 1, 2 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func discards(c closer) {
+	fail()        // want `error result of fail is silently discarded`
+	pair()        // want `error result of pair is silently discarded`
+	c.Close()     // want `error result of Close is silently discarded`
+	_ = fail()    // want `error result of fail is discarded to _ without a lint:ignore reason`
+	_, _ = pair() // want `error result of pair is discarded to _ without a lint:ignore reason`
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+func exemptForms(c closer) {
+	// Non-error results carry no obligation.
+	value()
+	_ = value()
+	_, _ = multi()
+
+	// Deferred discards are out of errcheck-lite's scope.
+	defer c.Close()
+
+	// bytes.Buffer and strings.Builder are structurally infallible.
+	var b bytes.Buffer
+	b.WriteString("x")
+	var sb strings.Builder
+	sb.WriteByte('x')
+	fmt.Fprintf(&b, "n=%d", 1)
+	fmt.Fprintln(&sb, "x")
+
+	// The sanctioned escape hatch: blank assignment plus an audited
+	// ignore directive.
+	//lint:ignore errcheck golden-file demonstration of the escape hatch
+	_ = fail()
+}

@@ -1,0 +1,38 @@
+// Package printban is sdlint golden-test input for the printban
+// analyzer. This is a library package, so ambient output is banned.
+package printban
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func ambient() {
+	fmt.Println("hello")  // want `fmt\.Println writes to stdout from a library package`
+	fmt.Printf("%d\n", 1) // want `fmt\.Printf writes to stdout from a library package`
+	fmt.Print("x")        // want `fmt\.Print writes to stdout from a library package`
+	log.Printf("x")       // want `log\.Printf in library package`
+	log.Println("x")      // want `log\.Println in library package`
+	println("x")          // want `builtin println in library package`
+	print("x")            // want `builtin print in library package`
+}
+
+func fatal() {
+	log.Fatalf("x") // want `log\.Fatalf in library package`
+}
+
+// Formatting and explicit writers are always fine: the ban is on ambient
+// streams, not on formatting.
+func explicit(w io.Writer) string {
+	fmt.Fprintln(w, "x")
+	fmt.Fprintf(os.Stderr, "x") // explicit writer, caller's choice
+	return fmt.Sprintf("x=%d", 1)
+}
+
+// A custom logger bound to an injected writer is fine too.
+func scoped(w io.Writer) {
+	l := log.New(w, "p: ", 0)
+	l.Printf("x")
+}

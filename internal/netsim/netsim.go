@@ -56,12 +56,12 @@ type Stats struct {
 // concurrent use.
 type Network struct {
 	mu       sync.Mutex
-	rng      *rand.Rand
-	handlers map[string]Handler
-	links    map[string]Link // key "from→to"
-	stats    map[string]*Stats
-	defLink  Link
-	simTime  float64 // accumulated virtual latency across delivered messages
+	rng      *rand.Rand         // guarded by mu
+	handlers map[string]Handler // guarded by mu
+	links    map[string]Link    // guarded by mu; key "from→to"
+	stats    map[string]*Stats  // guarded by mu
+	defLink  Link               // guarded by mu
+	simTime  float64            // guarded by mu; accumulated virtual latency across delivered messages
 }
 
 // ErrUnknownNode reports a send to an unregistered node.

@@ -160,7 +160,9 @@ func (n *Node) MeasureField(kind sensor.Kind) (FieldReading, error) {
 	if err := n.Meter.ChargeSamples(kind, 1); err != nil {
 		return FieldReading{}, err
 	}
-	_ = n.Battery.Drain(0.01) // sampling overhead; depletion checked by caller
+	//lint:ignore errcheck sampling-overhead drain is best-effort; depletion is surfaced by the caller's battery check
+	_ = n.Battery.Drain(0.01)
+	//lint:ignore errcheck local logging is best-effort; a full or closed store must not fail the measurement itself
 	_ = n.Store.AppendScalar(fmt.Sprintf("%s/%s", n.ID, kind), 0, value)
 	obsMeasurements.Inc()
 	shared, ok := n.Policy.Filter(kind, []float64{value})
@@ -254,6 +256,7 @@ func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (an
 		if err := json.Unmarshal(msg.Payload, &env); err != nil {
 			continue
 		}
+		//lint:ignore errcheck energy accounting is best-effort in the command loop; an unknown radio kind only skips the charge
 		_ = n.Meter.ChargeRx(n.Radio, len(msg.Payload))
 		obsServedCmds.Inc()
 		reply, err := fn(env.Body)
@@ -264,7 +267,9 @@ func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (an
 		if err != nil {
 			continue
 		}
+		//lint:ignore errcheck energy accounting is best-effort in the command loop; an unknown radio kind only skips the charge
 		_ = n.Meter.ChargeTx(n.Radio, len(raw))
+		//lint:ignore errcheck reply delivery is best-effort by contract; the requester may already have timed out
 		_ = b.Publish(env.ReplyTo, raw)
 	}
 }
@@ -350,16 +355,19 @@ func (n *Node) SenseContext(windowLen int, rateHz float64, pipe *contextproc.Pip
 	if gps := n.Probes.ByKind(sensor.GPS); len(gps) > 0 {
 		s := gps[0].Next()
 		envReading.GPSSatellites, envReading.GPSAccuracyM = s.Values[0], s.Values[1]
+		//lint:ignore errcheck context sampling energy is best-effort accounting; it must not veto the context report
 		_ = n.Meter.ChargeSamples(sensor.GPS, 1)
 	}
 	if wifi := n.Probes.ByKind(sensor.WiFi); len(wifi) > 0 {
 		s := wifi[0].Next()
 		envReading.WiFiRSSIdBm, envReading.WiFiAPCount = s.Values[0], s.Values[1]
+		//lint:ignore errcheck context sampling energy is best-effort accounting; it must not veto the context report
 		_ = n.Meter.ChargeSamples(sensor.WiFi, 1)
 	}
 	stress := 0.0
 	if mic := n.Probes.ByKind(sensor.Microphone); len(mic) > 0 {
 		s := mic[0].Next()
+		//lint:ignore errcheck context sampling energy is best-effort accounting; it must not veto the context report
 		_ = n.Meter.ChargeSamples(sensor.Microphone, 1)
 		stress = contextproc.StressIndex(s.Values[0], act)
 	}

@@ -50,7 +50,8 @@ func DebugHandler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "sensedroid debug endpoints: /metrics.json /spans /debug/pprof/")
+		//lint:ignore errcheck a failed write to the debug client is the client's problem; http handlers have nowhere to report it
+		_, _ = fmt.Fprintln(w, "sensedroid debug endpoints: /metrics.json /spans /debug/pprof/")
 	})
 	return mux
 }
@@ -65,6 +66,9 @@ func StartDebugServer(addr string, r *Registry) (*http.Server, string, error) {
 	}
 	r.SetEnabled(true)
 	srv := &http.Server{Handler: DebugHandler(r)}
-	go func() { _ = srv.Serve(ln) }()
+	go func() {
+		//lint:ignore errcheck Serve always returns a non-nil error after Close; the shutdown path is the caller's Close
+		_ = srv.Serve(ln)
+	}()
 	return srv, ln.Addr().String(), nil
 }

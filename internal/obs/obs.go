@@ -27,10 +27,10 @@ import (
 type Registry struct {
 	enabled  atomic.Bool
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	spans    *SpanRecorder
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
+	spans    *SpanRecorder         // immutable after NewRegistry
 }
 
 // NewRegistry returns a disabled registry with an empty namespace and a

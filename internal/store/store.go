@@ -34,8 +34,8 @@ type Record struct {
 // Store is a concurrency-safe multi-series log.
 type Store struct {
 	mu        sync.RWMutex
-	series    map[string][]Record
-	maxPerKey int // 0 = unbounded
+	series    map[string][]Record // guarded by mu
+	maxPerKey int                 // immutable after New; 0 = unbounded
 }
 
 // ErrNoSeries reports a query on an unknown series.

@@ -8,6 +8,31 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== sdlint =="
+# Project-invariant static analysis (internal/lint). The summary line on
+# stderr doubles as a self-check: a refactor that breaks package loading
+# would report zero packages analyzed and "pass" vacuously, so gate on
+# the count too.
+SDLINT_OUT="$(go run ./cmd/sdlint ./... 2>&1)" || {
+    echo "$SDLINT_OUT"
+    echo "FAIL: sdlint reported findings (or could not load the tree)"
+    exit 1
+}
+echo "$SDLINT_OUT"
+if ! echo "$SDLINT_OUT" | grep -Eq 'analyzed [1-9][0-9]* packages'; then
+    echo "FAIL: sdlint analyzed zero packages — loader or pattern expansion is broken"
+    exit 1
+fi
+
+echo "== fuzz smoke =="
+# A few seconds per target: enough to catch a decoder that started
+# panicking on NaN/Inf or a frame parser that accepts garbage, without
+# turning the pre-commit gate into a fuzzing campaign. One -fuzz flag
+# per invocation (the go tool fuzzes exactly one target at a time).
+go test -run '^$' -fuzz '^FuzzDecodeOMP$' -fuzztime 3s ./internal/cs
+go test -run '^$' -fuzz '^FuzzDecodeIHT$' -fuzztime 3s ./internal/cs
+go test -run '^$' -fuzz '^FuzzParseFrame$' -fuzztime 3s ./internal/bus
+
 echo "== go test -race =="
 GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
 
