@@ -10,7 +10,14 @@
 // are sorted by position. Exit status: 0 clean, 1 findings (or no
 // packages matched — a silent no-op gate is worse than a loud one),
 // 2 load/usage errors. The final "sdlint: analyzed N packages" summary
-// on stderr is parsed by scripts/check.sh as a zero-package guard.
+// on stderr is parsed by scripts/check.sh as a zero-package guard and
+// an analyzer-count gate.
+//
+// Debug dumps (both deterministic, sorted, to stdout, exit 0):
+//
+//	sdlint -lockgraph ./...        inferred lock-acquisition hierarchy
+//	sdlint -callgraph <pkg> ./...  call graph of one package (import
+//	                               path or suffix, e.g. internal/bus)
 package main
 
 import (
@@ -18,14 +25,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
+	lockgraph := flag.Bool("lockgraph", false, "dump the inferred lock-acquisition hierarchy instead of linting")
+	callgraph := flag.String("callgraph", "", "dump the call graph of the named package (import path or suffix) instead of linting")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sdlint [-root dir] <packages>\n  e.g.: sdlint ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-root dir] [-lockgraph] [-callgraph pkg] <packages>\n  e.g.: sdlint ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,10 +43,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(*root, flag.Args()))
+	os.Exit(run(*root, flag.Args(), *lockgraph, *callgraph))
 }
 
-func run(root string, patterns []string) int {
+func run(root string, patterns []string, lockgraph bool, callgraph string) int {
 	if root == "" {
 		var err error
 		root, err = findModuleRoot()
@@ -55,20 +65,51 @@ func run(root string, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "sdlint:", err)
 		return 2
 	}
-	res := lint.Run(pkgs, lint.ProjectAnalyzers())
+	if lockgraph || callgraph != "" {
+		return dump(pkgs, lockgraph, callgraph)
+	}
+	analyzers := lint.ProjectAnalyzers()
+	res := lint.Run(pkgs, analyzers)
 	relativize(res)
 	if err := lint.WriteDiagnostics(os.Stdout, res.Diagnostics); err != nil {
 		fmt.Fprintln(os.Stderr, "sdlint:", err)
 		return 2
 	}
-	fmt.Fprintf(os.Stderr, "sdlint: analyzed %d packages, %d findings, %d suppressed\n",
-		res.Packages, len(res.Diagnostics), res.Suppressed)
+	fmt.Fprintf(os.Stderr, "sdlint: analyzed %d packages with %d analyzers, %d findings, %d suppressed\n",
+		res.Packages, len(analyzers), len(res.Diagnostics), res.Suppressed)
 	if res.Packages == 0 {
 		fmt.Fprintln(os.Stderr, "sdlint: no packages matched the given patterns")
 		return 1
 	}
 	if len(res.Diagnostics) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// dump prints the requested debug view. Both views are deterministic:
+// sorted nodes/edges, byte-identical run to run.
+func dump(pkgs []*lint.Package, lockgraph bool, callgraph string) int {
+	prog := &lint.Program{Pkgs: pkgs}
+	if lockgraph {
+		fmt.Print(lint.FormatLockGraph(prog))
+	}
+	if callgraph != "" {
+		match := func(p string) bool {
+			return p == callgraph || strings.HasSuffix(p, "/"+callgraph)
+		}
+		found := false
+		for _, p := range pkgs {
+			if match(p.Path) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "sdlint: -callgraph %s matches none of the loaded packages\n", callgraph)
+			return 2
+		}
+		fmt.Print(lint.FormatCallGraph(prog.CallGraph(), pkgs[0].Fset, match))
 	}
 	return 0
 }

@@ -84,12 +84,20 @@ func main() {
 		log.Fatalf("sensedroid-node: %v", err)
 	}
 	var mu sync.Mutex
-	go func() { // roam
+	roamDone := make(chan struct{})
+	defer close(roamDone)
+	go func() { // roam until main returns
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
 		for {
-			time.Sleep(500 * time.Millisecond)
-			mu.Lock()
-			mob.Step(0.5)
-			mu.Unlock()
+			select {
+			case <-roamDone:
+				return
+			case <-tick.C:
+				mu.Lock()
+				mob.Step(0.5)
+				mu.Unlock()
+			}
 		}
 	}()
 	gridIdx := func() int {

@@ -7,6 +7,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -129,15 +130,33 @@ func (br *Broker) Nodes() []string {
 // Positions queries every registered node for its current grid cell.
 // Unreachable nodes are skipped.
 func (br *Broker) Positions() map[string]int {
+	return br.PositionsContext(context.Background())
+}
+
+// PositionsContext is Positions under a caller-supplied context: each
+// per-node request still gets the broker's timeout, but cancelling ctx
+// abandons the sweep early (the partial map is returned).
+func (br *Broker) PositionsContext(ctx context.Context) map[string]int {
 	out := make(map[string]int)
 	for _, id := range br.Nodes() {
+		if ctx.Err() != nil {
+			return out
+		}
 		var rep node.PositionReply
-		if err := bus.Request(br.Bus, node.PositionTopic(br.ID, id), struct{}{}, &rep, br.timeout); err != nil {
+		if err := br.request(ctx, node.PositionTopic(br.ID, id), struct{}{}, &rep); err != nil {
 			continue
 		}
 		out[id] = rep.GridIdx
 	}
 	return out
+}
+
+// request is one per-node round trip: the broker's per-request timeout
+// layered on the caller's context.
+func (br *Broker) request(ctx context.Context, topic string, body, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, br.timeout)
+	defer cancel()
+	return bus.RequestContext(rctx, br.Bus, topic, body, out)
 }
 
 // Gather is one telemetry round: the broker randomly selects up to m
@@ -158,6 +177,14 @@ type GatherResult struct {
 
 // Gather runs one measurement round for the given sensor kind.
 func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
+	return br.GatherContext(context.Background(), kind, m)
+}
+
+// GatherContext is Gather under a caller-supplied context. Cancellation
+// is checked between nodes and bounds every in-flight request, so a
+// cancelled round returns promptly instead of draining the full roster
+// at one timeout per unreachable node.
+func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*GatherResult, error) {
 	if m <= 0 {
 		return nil, errors.New("broker: measurement count must be positive")
 	}
@@ -169,16 +196,19 @@ func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
 	if m > n {
 		m = n
 	}
-	ids := br.orderNodes()
+	ids := br.orderNodes(ctx)
 	res := &GatherResult{}
 	seen := make(map[int]bool)
 	for _, id := range ids {
 		if len(res.Locs) >= m {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("broker: gather round abandoned: %w", err)
+		}
 		var reading node.FieldReading
-		err := bus.Request(br.Bus, node.MeasureTopic(br.ID, id),
-			node.MeasureRequest{Kind: string(kind)}, &reading, br.timeout)
+		err := br.request(ctx, node.MeasureTopic(br.ID, id),
+			node.MeasureRequest{Kind: string(kind)}, &reading)
 		if err != nil {
 			continue
 		}
@@ -232,8 +262,9 @@ func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
 
 // orderNodes returns the registered nodes in solicitation order per the
 // selection policy: uniform shuffle (stochastic spatial sampling) or
-// fullest-battery-first (energy-balancing duty rotation).
-func (br *Broker) orderNodes() []string {
+// fullest-battery-first (energy-balancing duty rotation). The battery
+// policy's status sweep honours ctx like the gather loop does.
+func (br *Broker) orderNodes(ctx context.Context) []string {
 	ids := br.Nodes()
 	switch br.selection {
 	case SelectBattery:
@@ -243,8 +274,11 @@ func (br *Broker) orderNodes() []string {
 		}
 		stats := make([]nb, 0, len(ids))
 		for _, id := range ids {
+			if ctx.Err() != nil {
+				break
+			}
 			var st node.StatusReply
-			if err := bus.Request(br.Bus, node.StatusTopic(br.ID, id), struct{}{}, &st, br.timeout); err != nil {
+			if err := br.request(ctx, node.StatusTopic(br.ID, id), struct{}{}, &st); err != nil {
 				continue // unreachable nodes sort last by omission
 			}
 			stats = append(stats, nb{id: id, frac: st.BatteryFrac})
@@ -281,7 +315,12 @@ type Reconstruction struct {
 // Reconstruct runs a Gather round and recovers the region's field with the
 // Fig. 6 CHS algorithm (OLS or GLS per options).
 func (br *Broker) Reconstruct(kind sensor.Kind, m int, opts ReconstructOptions) (*Reconstruction, error) {
-	g, err := br.Gather(kind, m)
+	return br.ReconstructContext(context.Background(), kind, m, opts)
+}
+
+// ReconstructContext is Reconstruct with the gather round bounded by ctx.
+func (br *Broker) ReconstructContext(ctx context.Context, kind sensor.Kind, m int, opts ReconstructOptions) (*Reconstruction, error) {
+	g, err := br.GatherContext(ctx, kind, m)
 	if err != nil {
 		return nil, err
 	}

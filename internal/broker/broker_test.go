@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/node"
 	"repro/internal/sensor"
+	"repro/internal/testutil"
 )
 
 // fieldEnv exposes a whole field as a single-zone node.Environment
@@ -26,9 +29,13 @@ func (e fieldEnv) AreaDims() (float64, float64) {
 	return float64(e.f.W) * 10, float64(e.f.H) * 10
 }
 
-// testNC builds a broker over a plume field with n attached nodes.
+// testNC builds a broker over a plume field with n attached nodes. Every
+// broker test it serves runs under the goroutine-leak guard: the cleanup
+// below detaches all nodes and closes the bus, and the guard fails the
+// test if any handler goroutine outlives that teardown.
 func testNC(t *testing.T, nNodes int, seed int64) (*Broker, *field.Field, []*node.Node) {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	truth := field.GenPlumes(8, 8, 10, []field.Plume{{Row: 3, Col: 5, Sigma: 2.2, Amplitude: 30}})
 	env := fieldEnv{f: truth}
 	b := bus.New()
@@ -306,5 +313,21 @@ func TestGatherSurvivesUnreachableNodes(t *testing.T) {
 	}
 	if g.NodesUsed != 0 || g.InfraUsed != 6 {
 		t.Fatalf("gather %+v, want all-infra", g)
+	}
+}
+
+// TestGatherContextCancelled pins the new cancellation path: a cancelled
+// context aborts the round promptly with the context error instead of
+// draining the roster at one timeout per node.
+func TestGatherContextCancelled(t *testing.T) {
+	br, _, _ := testNC(t, 3, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := br.GatherContext(ctx, sensor.Temperature, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GatherContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The context-less wrapper still works after a cancelled round.
+	if _, err := br.Gather(sensor.Temperature, 5); err != nil {
+		t.Fatalf("Gather after cancelled round: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync/atomic"
@@ -16,11 +17,13 @@ type envelope struct {
 
 var reqCounter atomic.Uint64
 
-// Request publishes body (JSON-encoded) on topic with a unique reply-to
-// topic and waits up to timeout for a single reply, which it decodes into
-// out (out may be nil to discard). It implements the command/telemetry
-// round trip between broker and nodes.
-func Request(b *Bus, topic string, body any, out any, timeout time.Duration) error {
+// RequestContext publishes body (JSON-encoded) on topic with a unique
+// reply-to topic and waits for a single reply, which it decodes into out
+// (out may be nil to discard). It returns when the reply arrives, the
+// bus closes, or ctx is done — cancellation unblocks the caller
+// immediately and leaves nothing behind (the reply subscription is torn
+// down on every path).
+func RequestContext(ctx context.Context, b *Bus, topic string, body any, out any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("bus: encode request: %w", err)
@@ -50,36 +53,70 @@ func Request(b *Bus, topic string, body any, out any, timeout time.Duration) err
 			return fmt.Errorf("bus: decode reply: %w", err)
 		}
 		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("bus: request on %q timed out after %v", topic, timeout)
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			return fmt.Errorf("bus: request on %q timed out: %w", topic, ctx.Err())
+		}
+		return fmt.Errorf("bus: request on %q: %w", topic, ctx.Err())
 	}
 }
 
-// Respond subscribes to a request topic pattern and serves each request
-// with fn until the subscription closes. fn receives the decoded request
-// body bytes and returns the reply value (JSON-encoded back to the
-// requester). Respond runs in the calling goroutine; start it with go.
-func Respond(b *Bus, pattern string, fn func(topic string, body []byte) (any, error)) error {
+// Request is the context-less convenience wrapper: one round trip with a
+// deadline. The timeout rides on a context (not a bare time.After), so
+// its timer is released as soon as the reply lands instead of ticking on
+// for the full duration.
+func Request(b *Bus, topic string, body any, out any, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return RequestContext(ctx, b, topic, body, out)
+}
+
+// RespondContext subscribes to a request topic pattern and serves each
+// request with fn until the subscription closes (returns nil) or ctx is
+// done (returns ctx.Err()). fn receives the decoded request body bytes
+// and returns the reply value (JSON-encoded back to the requester).
+// RespondContext runs in the calling goroutine; start it with go and
+// cancel ctx to shut the responder down.
+func RespondContext(ctx context.Context, b *Bus, pattern string, fn func(topic string, body []byte) (any, error)) error {
 	sub, err := b.Subscribe(pattern, 64)
 	if err != nil {
 		return err
 	}
-	for msg := range sub.C {
-		var env envelope
-		if err := json.Unmarshal(msg.Payload, &env); err != nil {
-			continue // not a request envelope; ignore
+	defer sub.Unsubscribe()
+	for {
+		select {
+		case msg, ok := <-sub.C:
+			if !ok {
+				return nil
+			}
+			serveRequest(b, msg, fn)
+		case <-ctx.Done():
+			return ctx.Err()
 		}
-		reply, err := fn(msg.Topic, env.Body)
-		if err != nil || env.ReplyTo == "" {
-			continue
-		}
-		raw, err := json.Marshal(reply)
-		if err != nil {
-			continue
-		}
-		// Best-effort reply; requester may have timed out.
-		//lint:ignore errcheck reply delivery is best-effort by contract; a failed publish only means the requester is gone or the bus closed
-		_ = b.Publish(env.ReplyTo, raw)
 	}
-	return nil
+}
+
+// Respond serves until the subscription closes, with no external stop:
+// the bus closing is the shutdown signal. Prefer RespondContext anywhere
+// the responder must die before the bus does.
+func Respond(b *Bus, pattern string, fn func(topic string, body []byte) (any, error)) error {
+	return RespondContext(context.Background(), b, pattern, fn)
+}
+
+func serveRequest(b *Bus, msg Message, fn func(topic string, body []byte) (any, error)) {
+	var env envelope
+	if err := json.Unmarshal(msg.Payload, &env); err != nil {
+		return // not a request envelope; ignore
+	}
+	reply, err := fn(msg.Topic, env.Body)
+	if err != nil || env.ReplyTo == "" {
+		return
+	}
+	raw, err := json.Marshal(reply)
+	if err != nil {
+		return
+	}
+	// Best-effort reply; requester may have timed out.
+	//lint:ignore errcheck reply delivery is best-effort by contract; a failed publish only means the requester is gone or the bus closed
+	_ = b.Publish(env.ReplyTo, raw)
 }

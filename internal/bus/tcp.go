@@ -132,7 +132,13 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			subs = append(subs, sub)
+			// The forwarder joins the server's WaitGroup: Close must not
+			// return while any goroutine still writes to a conn. It exits
+			// when serveConn's teardown unsubscribes (closing sub.C) or
+			// the first failed write reports the conn gone.
+			s.wg.Add(1)
 			go func(sub *Subscription) {
+				defer s.wg.Done()
 				for msg := range sub.C {
 					if err := send(frame{Op: "msg", Topic: msg.Topic, Payload: msg.Payload}); err != nil {
 						return
@@ -163,8 +169,10 @@ func (s *Server) Close() {
 
 // Client is a TCP participant on a remote bus.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
+	conn      net.Conn
+	enc       *json.Encoder
+	readDone  chan struct{} // closed when readLoop exits
+	closeOnce sync.Once
 
 	mu     sync.Mutex
 	subs   []chan Message // guarded by mu
@@ -177,12 +185,13 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bus: dial: %w", err)
 	}
-	c := &Client{conn: conn, enc: json.NewEncoder(conn)}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn), readDone: make(chan struct{})}
 	go c.readLoop()
 	return c, nil
 }
 
 func (c *Client) readLoop() {
+	defer close(c.readDone)
 	scanner := bufio.NewScanner(c.conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for scanner.Scan() {
@@ -244,15 +253,16 @@ func (c *Client) Subscribe(pattern string) (<-chan Message, error) {
 	return ch, nil
 }
 
-// Close drops the connection.
+// Close drops the connection and joins the read loop: when Close
+// returns, the readLoop goroutine has exited and every subscriber
+// channel is closed. Safe to call more than once, and also after the
+// server side already dropped the connection (the socket still needs
+// closing on this side either way).
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
-	c.mu.Unlock()
-	return c.conn.Close()
+	var err error
+	c.closeOnce.Do(func() { err = c.conn.Close() })
+	<-c.readDone
+	return err
 }
 
 // ErrClientClosed reports use after Close.

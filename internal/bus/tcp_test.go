@@ -1,15 +1,20 @@
 package bus
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // Failure-path coverage for the TCP transport and the request/reply
 // helper: dial failures, request timeouts, oversized payloads, and a
-// server closing mid-request.
+// server closing mid-request. Every test that starts transport goroutines
+// runs under the testutil.CheckGoroutines leak guard.
 
 func TestDialFailureClosedPort(t *testing.T) {
 	// Grab a port that is guaranteed closed: listen, note the address,
@@ -26,6 +31,7 @@ func TestDialFailureClosedPort(t *testing.T) {
 }
 
 func TestTCPOversizedPayloadKillsConnection(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	defer b.Close()
 	srv, err := NewServer(b, "127.0.0.1:0")
@@ -72,6 +78,7 @@ func TestTCPOversizedPayloadKillsConnection(t *testing.T) {
 }
 
 func TestTCPServerCloseClosesClientSubscriptions(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	srv, err := NewServer(b, "127.0.0.1:0")
 	if err != nil {
@@ -116,6 +123,7 @@ func TestTCPServerCloseClosesClientSubscriptions(t *testing.T) {
 }
 
 func TestRequestBusClosedMidRequest(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	// A responder that never answers, so Request parks on its reply
 	// channel until Close tears the bus down under it.
@@ -134,6 +142,7 @@ func TestRequestBusClosedMidRequest(t *testing.T) {
 }
 
 func TestRequestTimeoutNoResponder(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	defer b.Close()
 	start := time.Now()
@@ -155,6 +164,7 @@ func TestRequestUnmarshalableBody(t *testing.T) {
 }
 
 func TestRespondIgnoresMalformedEnvelopes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	defer b.Close()
 	served := make(chan string, 1)
@@ -190,6 +200,7 @@ func TestRespondIgnoresMalformedEnvelopes(t *testing.T) {
 }
 
 func TestTCPPublishInvalidAfterDial(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	b := New()
 	defer b.Close()
 	srv, err := NewServer(b, "127.0.0.1:0")
@@ -207,5 +218,145 @@ func TestTCPPublishInvalidAfterDial(t *testing.T) {
 	}
 	if _, err := cli.Subscribe("bad//+/pattern"); err == nil {
 		t.Fatal("invalid pattern accepted")
+	}
+}
+
+// --- Leak regressions -------------------------------------------------------
+//
+// Each of these pins a goroutine leak that once existed: the test fails
+// under testutil.CheckGoroutines if the fix regresses.
+
+// TestServerCloseJoinsForwarders pins that Server.Close waits for the
+// per-subscription forwarder goroutines. Before the forwarders joined the
+// server's WaitGroup, Close could return while they still wrote to
+// half-dead connections.
+func TestServerCloseJoinsForwarders(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cli)
+		ch, err := cli.Subscribe(fmt.Sprintf("leak/%d/#", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip once so the server has registered the sub (and its
+		// forwarder goroutine) before we tear everything down.
+		if err := cli.Publish(fmt.Sprintf("leak/%d/ping", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("subscription never became live")
+		}
+	}
+	srv.Close()
+	b.Close()
+	for _, cli := range clients {
+		if err := cli.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Errorf("client close: %v", err)
+		}
+	}
+}
+
+// TestClientCloseJoinsReadLoop pins that Client.Close does not return
+// until the readLoop goroutine has exited — including the second Close
+// after the server already dropped the connection.
+func TestClientCloseJoinsReadLoop(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	b.Close()
+	// Close after the remote end is gone, twice: both calls must return
+	// (closeOnce) and the read loop must be joined by the first.
+	if err := cli.Close(); err != nil {
+		t.Logf("first close: %v", err) // socket may already be dead; only the join matters
+	}
+	if err := cli.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	select {
+	case <-cli.readDone:
+	default:
+		t.Fatal("Close returned before readLoop exited")
+	}
+}
+
+// TestRequestCancelReleasesResources pins that an abandoned request
+// leaves nothing behind: the old implementation parked a time.After
+// timer (and with it the reply subscription) for the full timeout even
+// after the caller gave up.
+func TestRequestCancelReleasesResources(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	b := New()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RequestContext(ctx, b, "svc/never", struct{}{}, nil)
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RequestContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request did not return")
+	}
+}
+
+// TestRespondContextStops pins the responder shutdown path that Respond
+// never had: cancelling the context stops the loop even while the bus
+// stays open.
+func TestRespondContextStops(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	b := New()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RespondContext(ctx, b, "svc/stoppable", func(topic string, body []byte) (any, error) {
+			return "ok", nil
+		})
+	}()
+	// Serve one request to prove the responder is live. The responder
+	// subscribes asynchronously, so retry short requests until one lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var out string
+		if err := Request(b, "svc/stoppable", "hi", &out, 100*time.Millisecond); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("responder never served a request")
+		}
+	}
+	// ...then stop it without touching the bus.
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RespondContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled responder did not stop")
 	}
 }

@@ -9,6 +9,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -120,6 +121,13 @@ func NewLocalCloud(env *ZoneEnv, brokers ...*broker.Broker) (*LocalCloud, error)
 // region"). Infrastructure fallback inside each broker keeps the total on
 // budget even when mobile coverage is short.
 func (lc *LocalCloud) Gather(kind sensor.Kind, m int) (*broker.GatherResult, error) {
+	return lc.GatherContext(context.Background(), kind, m)
+}
+
+// GatherContext is Gather with every broker round bounded by ctx: a
+// cancelled zone gather stops soliciting further brokers and reports the
+// cancellation instead of a partial merge.
+func (lc *LocalCloud) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*broker.GatherResult, error) {
 	if m <= 0 {
 		return nil, errors.New("cloud: budget must be positive")
 	}
@@ -135,7 +143,7 @@ func (lc *LocalCloud) Gather(kind sensor.Kind, m int) (*broker.GatherResult, err
 		if want == 0 {
 			continue
 		}
-		g, err := br.Gather(kind, want)
+		g, err := br.GatherContext(ctx, kind, want)
 		if err != nil {
 			return nil, fmt.Errorf("cloud: broker %s: %w", br.ID, err)
 		}
@@ -166,7 +174,12 @@ func (lc *LocalCloud) Gather(kind sensor.Kind, m int) (*broker.GatherResult, err
 // Reconstruct gathers m measurements across the LC's brokers and recovers
 // the zone subfield.
 func (lc *LocalCloud) Reconstruct(kind sensor.Kind, m int, opts broker.ReconstructOptions) (*broker.Reconstruction, error) {
-	g, err := lc.Gather(kind, m)
+	return lc.ReconstructContext(context.Background(), kind, m, opts)
+}
+
+// ReconstructContext is Reconstruct with the gather rounds bounded by ctx.
+func (lc *LocalCloud) ReconstructContext(ctx context.Context, kind sensor.Kind, m int, opts broker.ReconstructOptions) (*broker.Reconstruction, error) {
+	g, err := lc.GatherContext(ctx, kind, m)
 	if err != nil {
 		return nil, err
 	}
@@ -298,9 +311,21 @@ type ZoneReport struct {
 // are stitched in LC order afterwards, which keeps the assembled field and
 // reports identical to a serial run at any GOMAXPROCS.
 func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
+	return pc.AssembleContext(context.Background(), kind, plan, opts)
+}
+
+// AssembleContext is Assemble under a caller-supplied context. The first
+// zone failure cancels the remaining zones so an assembly does not drain
+// the full plan after its outcome is already decided; the reported error
+// is still deterministic — the scan below prefers the lowest-index zone
+// whose failure was not itself the cancellation — so the caller sees the
+// same error at any GOMAXPROCS.
+func (pc *PublicCloud) AssembleContext(ctx context.Context, kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
 	sp := obs.StartSpan("cloud.assemble")
 	sp.Label("zones", fmt.Sprint(len(pc.LCs)))
 	defer sp.Finish()
+	zctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type zoneOut struct {
 		rec *broker.Reconstruction
 		m   int
@@ -317,11 +342,13 @@ func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.R
 		m, ok := plan[z.ID]
 		if !ok || m <= 0 {
 			outs[i].err = fmt.Errorf("cloud: no budget for zone %d", z.ID)
+			cancel()
 			return
 		}
-		rec, err := lc.Reconstruct(kind, m, opts)
+		rec, err := lc.ReconstructContext(zctx, kind, m, opts)
 		if err != nil {
 			outs[i].err = fmt.Errorf("cloud: zone %d: %w", z.ID, err)
+			cancel()
 			return
 		}
 		outs[i] = zoneOut{rec: rec, m: m}
@@ -348,12 +375,27 @@ func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.R
 		close(idx)
 		wg.Wait()
 	}
+	// Deterministic error choice: the first zone (in LC order) that failed
+	// for a reason of its own beats any zone that merely observed the
+	// cancellation triggered by a sibling.
+	var cancelled error
+	for i := range outs {
+		if err := outs[i].err; err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				if cancelled == nil {
+					cancelled = err
+				}
+				continue
+			}
+			return nil, nil, err
+		}
+	}
+	if cancelled != nil {
+		return nil, nil, cancelled
+	}
 	global := field.New(pc.W, pc.H)
 	reports := make(map[int]*ZoneReport, len(pc.LCs))
 	for i, lc := range pc.LCs {
-		if outs[i].err != nil {
-			return nil, nil, outs[i].err
-		}
 		z := lc.Env.Zone()
 		if err := field.Insert(global, z, outs[i].rec.Field); err != nil {
 			return nil, nil, err

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixPath = "repro/internal/lint/testdata/src/callgraphfix"
+
+// TestCallGraphFixture pins the whole formatted graph of the
+// hand-checked fixture: method-call resolution through a concrete
+// receiver, go/defer edge kinds, interface dispatch staying unresolved,
+// literal nodes with stable $N names, and local literal bindings.
+func TestCallGraphFixture(t *testing.T) {
+	pkg := loadTestdata(t, "callgraphfix")
+	g := BuildCallGraph([]*Package{pkg})
+
+	want := strings.Join([]string{
+		"(*" + fixPath + ".ringer).Ring",
+		fixPath + ".Entry",
+		"  call  " + fixPath + ".helper callgraphfix.go:18",
+		"  defer " + fixPath + ".helper callgraphfix.go:19",
+		"  call  (*" + fixPath + ".ringer).Ring callgraphfix.go:21",
+		"  go    (*" + fixPath + ".ringer).Ring callgraphfix.go:22",
+		"  call  " + fixPath + ".Entry$1 callgraphfix.go:25",
+		"  go    " + fixPath + ".Entry$2 callgraphfix.go:28",
+		fixPath + ".Entry$1",
+		"  call  " + fixPath + ".helper callgraphfix.go:24",
+		fixPath + ".Entry$2",
+		"  call  " + fixPath + ".helper callgraphfix.go:27",
+		fixPath + ".helper",
+		"",
+	}, "\n")
+	got := FormatCallGraph(g, pkg.Fset, func(p string) bool { return p == fixPath })
+	if got != want {
+		t.Errorf("call graph mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The formatted dump must be byte-stable run to run.
+	g2 := BuildCallGraph([]*Package{pkg})
+	if again := FormatCallGraph(g2, pkg.Fset, func(p string) bool { return p == fixPath }); again != got {
+		t.Errorf("call graph dump is not deterministic:\n--- first ---\n%s--- second ---\n%s", got, again)
+	}
+}
+
+// TestGoReachable pins the go-reachability closure on the fixture: the
+// spawned method and literal plus everything they call, but not Entry
+// itself.
+func TestGoReachable(t *testing.T) {
+	pkg := loadTestdata(t, "callgraphfix")
+	g := BuildCallGraph([]*Package{pkg})
+	reach := g.GoReachable()
+
+	var got []string
+	for _, n := range g.SortedNodes() {
+		if reach[n] != nil {
+			got = append(got, n.ID)
+		}
+	}
+	want := []string{
+		"(*" + fixPath + ".ringer).Ring",
+		fixPath + ".Entry$2",
+		fixPath + ".helper", // called by Entry$2, so transitively go-reachable
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("go-reachable = %v, want %v", got, want)
+	}
+}
+
+// TestLockGraphDump pins the -lockgraph debug output on the lockorder
+// golden package: sorted edges with earliest-witness positions.
+func TestLockGraphDump(t *testing.T) {
+	pkg := loadTestdata(t, "lockorder")
+	prog := &Program{Pkgs: []*Package{pkg}}
+	const lp = "repro/internal/lint/testdata/src/lockorder"
+
+	want := strings.Join([]string{
+		lp + ".muA -> " + lp + ".muB (lockorder.go:17)",
+		lp + ".muA -> " + lp + ".muC (lockorder.go:33)",
+		lp + ".muB -> " + lp + ".muA (lockorder.go:24)",
+		"",
+	}, "\n")
+	got := FormatLockGraph(prog)
+	if got != want {
+		t.Errorf("lock graph mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

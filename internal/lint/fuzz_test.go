@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the //lint:ignore parser with arbitrary
+// comment text. The parser sits in front of every suppression decision
+// sdlint makes, so its invariants are load-bearing:
+//
+//   - it never panics;
+//   - only text starting with the exact "//lint:ignore" word is a
+//     directive at all;
+//   - a well-formed directive has at least one non-empty check name and
+//     a non-empty reason, and its check list round-trips to the first
+//     field of the comment;
+//   - parsing is deterministic.
+func FuzzIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore errcheck best-effort reply",
+		"//lint:ignore errcheck,printban two checks one reason",
+		"//lint:ignore goroleak intentional process-lifetime daemon",
+		"//lint:ignore",                    // no checks, no reason: malformed
+		"//lint:ignore errcheck",           // reason missing: malformed
+		"//lint:ignore  spaced   out  ok ", // extra whitespace
+		"//lint:ignoreXYZ not a directive",
+		"//lint:ignore a,,b empty segment",
+		"//lint:ignore , bare comma",
+		"//lint:ignore ,x leading comma",
+		"//lint:ignore x, trailing comma",
+		"// lint:ignore errcheck spaced prefix is not a directive",
+		"//nolint:errcheck other linters' syntax",
+		"//lint:ignore\terrcheck\ttabs as separators",
+		"//lint:ignore errcheck \x00\xff binary reason",
+		"",
+	} {
+		f.Add(seed)
+	}
+	pos := token.Position{Filename: "fuzz.go", Line: 1, Column: 1}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, isDirective := parseDirective(text, pos)
+		d2, isDirective2 := parseDirective(text, pos)
+		if isDirective != isDirective2 || d.ok != d2.ok || d.reason != d2.reason ||
+			strings.Join(d.checks, ",") != strings.Join(d2.checks, ",") {
+			t.Fatalf("parseDirective not deterministic on %q", text)
+		}
+		if !isDirective {
+			// Nothing that is not a directive may ever suppress: the prefix
+			// either does not match or runs into a non-separator character.
+			if strings.HasPrefix(text, ignorePrefix) {
+				rest := text[len(ignorePrefix):]
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					t.Fatalf("%q has the directive shape but was not recognized", text)
+				}
+			}
+			if d.ok {
+				t.Fatalf("non-directive %q parsed as well-formed", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, ignorePrefix) {
+			t.Fatalf("%q recognized as directive without the prefix", text)
+		}
+		if !d.ok {
+			if len(d.checks) != 0 {
+				t.Fatalf("malformed directive %q kept checks %v", text, d.checks)
+			}
+			return
+		}
+		if len(d.checks) == 0 {
+			t.Fatalf("well-formed directive %q with no checks", text)
+		}
+		for _, c := range d.checks {
+			if c == "" {
+				t.Fatalf("well-formed directive %q with empty check segment", text)
+			}
+			if strings.ContainsAny(c, " \t") {
+				t.Fatalf("check name %q contains whitespace", c)
+			}
+		}
+		if d.reason == "" {
+			t.Fatalf("well-formed directive %q with empty reason", text)
+		}
+		fields := strings.Fields(text[len(ignorePrefix):])
+		if got := strings.Join(d.checks, ","); got != fields[0] {
+			t.Fatalf("check list %q does not round-trip to field %q", got, fields[0])
+		}
+	})
+}
+
+// TestMalformedEmptyCheckSegment pins the fuzz-hardened rule at the unit
+// level: comma typos in the check list make the directive malformed (and
+// so reported) rather than a silent partial suppression.
+func TestMalformedEmptyCheckSegment(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 1}
+	for _, text := range []string{
+		"//lint:ignore a,,b reason here",
+		"//lint:ignore ,a reason here",
+		"//lint:ignore a, reason here",
+		"//lint:ignore , reason here",
+	} {
+		d, isDirective := parseDirective(text, pos)
+		if !isDirective {
+			t.Errorf("%q not recognized as a directive", text)
+			continue
+		}
+		if d.ok {
+			t.Errorf("%q parsed as well-formed, want malformed", text)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goroleak: every `go` statement must have a provable exit path. The
+// analyzer walks the call graph from every go edge (the spawned function
+// and everything it can call) and flags the two shapes that keep a
+// goroutine alive forever with no shutdown edge:
+//
+//   - an unbounded `for { ... }` (no condition, not a range) whose body
+//     contains no way out: no return, no break targeting that loop, no
+//     goto, and no terminal call (panic/os.Exit/log.Fatal/Goexit). A
+//     `select` arm that returns — the `<-done` / `<-ctx.Done()` idiom —
+//     counts as an exit, as does ranging over a closable channel
+//     (range loops are exempt by construction);
+//   - an empty `select {}`, which blocks forever.
+//
+// Intentional process-lifetime daemons are suppressed case by case with
+// `//lint:ignore goroleak <audited reason>`; DESIGN.md §7 carries the
+// audit.
+
+// GoroLeak returns the goroutine-leak analyzer.
+func GoroLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "goroutine-spawned code must have a provable exit path (done/ctx select arm, channel close, or bounded loop)",
+		Run: func(pass *Pass) {
+			g := pass.Prog.CallGraph()
+			reach := g.GoReachable()
+			for _, n := range g.SortedNodes() {
+				if n.Pkg != pass.Pkg {
+					continue
+				}
+				witness := reach[n]
+				if witness == nil {
+					continue
+				}
+				spawn := pass.Fset().Position(witness.Pos)
+				at := baseName(spawn.Filename)
+				scanLeakShapes(pass, n, at, spawn.Line)
+			}
+		},
+	}
+}
+
+// scanLeakShapes reports unbounded loops and empty selects in one
+// go-reachable function body. Function-literal interiors are skipped:
+// each literal is its own graph node and is scanned iff it is itself
+// reachable from a go edge.
+func scanLeakShapes(pass *Pass, n *CGNode, spawnFile string, spawnLine int) {
+	ast.Inspect(n.Body(), func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond != nil {
+				return true
+			}
+			if !loopHasExit(pass.Pkg, x, labelOf(n, x)) {
+				pass.Reportf(x.For,
+					"unbounded for loop in goroutine-spawned %s has no exit path (goroutine started at %s:%d); add a done/ctx.Done select arm or bound the loop",
+					n.ID, spawnFile, spawnLine)
+			}
+		case *ast.SelectStmt:
+			if len(x.Body.List) == 0 {
+				pass.Reportf(x.Select,
+					"empty select in goroutine-spawned %s blocks forever (goroutine started at %s:%d)",
+					n.ID, spawnFile, spawnLine)
+			}
+		}
+		return true
+	})
+}
+
+// labelOf finds the label attached to a loop statement, if any, so a
+// labeled break deep in the body can be matched to it.
+func labelOf(n *CGNode, loop ast.Stmt) string {
+	label := ""
+	ast.Inspect(n.Body(), func(m ast.Node) bool {
+		if ls, ok := m.(*ast.LabeledStmt); ok && ls.Stmt == loop {
+			label = ls.Label.Name
+			return false
+		}
+		return true
+	})
+	return label
+}
+
+// loopHasExit reports whether control can provably leave the loop: a
+// return, a break targeting this loop (unlabeled at depth zero, or
+// labeled with the loop's label), a goto, or a terminal call. Exits
+// inside nested function literals do not count — they leave a different
+// function.
+func loopHasExit(pkg *Package, loop *ast.ForStmt, label string) bool {
+	var scanList func(list []ast.Stmt, depth int) bool
+	var scan func(s ast.Stmt, depth int) bool
+	scan = func(s ast.Stmt, depth int) bool {
+		switch x := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			switch x.Tok {
+			case token.GOTO:
+				return true // conservatively an exit (never a false leak report)
+			case token.BREAK:
+				if x.Label != nil {
+					return label != "" && x.Label.Name == label
+				}
+				return depth == 0
+			}
+			return false
+		case *ast.ExprStmt:
+			return isTerminalExpr(pkg, x.X)
+		case *ast.BlockStmt:
+			return scanList(x.List, depth)
+		case *ast.IfStmt:
+			if x.Body != nil && scanList(x.Body.List, depth) {
+				return true
+			}
+			if x.Else != nil {
+				return scan(x.Else, depth)
+			}
+			return false
+		case *ast.ForStmt:
+			return scanList(x.Body.List, depth+1)
+		case *ast.RangeStmt:
+			return scanList(x.Body.List, depth+1)
+		case *ast.SwitchStmt:
+			return scanClauses(pkg, x.Body.List, depth, scanList)
+		case *ast.TypeSwitchStmt:
+			return scanClauses(pkg, x.Body.List, depth, scanList)
+		case *ast.SelectStmt:
+			return scanClauses(pkg, x.Body.List, depth, scanList)
+		case *ast.LabeledStmt:
+			return scan(x.Stmt, depth)
+		default:
+			return false
+		}
+	}
+	scanList = func(list []ast.Stmt, depth int) bool {
+		for _, s := range list {
+			if scan(s, depth) {
+				return true
+			}
+		}
+		return false
+	}
+	return scanList(loop.Body.List, 0)
+}
+
+// scanClauses scans case/comm clause bodies one breakable level deeper
+// (an unlabeled break inside them targets the switch/select, not the
+// loop under scrutiny).
+func scanClauses(pkg *Package, clauses []ast.Stmt, depth int, scanList func([]ast.Stmt, int) bool) bool {
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		if scanList(body, depth+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -42,7 +42,16 @@ func parseDirective(text string, pos token.Position) (directive, bool) {
 	fields := strings.Fields(rest)
 	d := directive{pos: pos}
 	if len(fields) >= 2 {
-		d.checks = strings.Split(fields[0], ",")
+		checks := strings.Split(fields[0], ",")
+		// An empty segment ("a,,b", ",x", a bare ",") suppresses nothing
+		// and usually marks a typo'd check list: malformed, not silently
+		// half-working.
+		for _, c := range checks {
+			if c == "" {
+				return d, true
+			}
+		}
+		d.checks = checks
 		d.reason = strings.Join(fields[1:], " ")
 		d.ok = true
 	}

@@ -53,8 +53,30 @@ type Analyzer struct {
 // Pass hands one package to one analyzer and collects its findings.
 type Pass struct {
 	Pkg      *Package
+	Prog     *Program
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+}
+
+// Program is the whole loaded package set, shared across passes so the
+// interprocedural analyzers build their call graph once per run instead
+// of once per package. Analyzers that consume it must still report only
+// diagnostics positioned inside their pass's package — that keeps
+// findings deduplicated and //lint:ignore suppression working (ignore
+// directives are collected per package).
+type Program struct {
+	Pkgs []*Package
+
+	cg    *CallGraph
+	locks *lockAnalysis
+}
+
+// CallGraph returns the memoized module-local call graph.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = BuildCallGraph(p.Pkgs)
+	}
+	return p.cg
 }
 
 // Fset returns the file set the package was parsed into.
@@ -82,9 +104,10 @@ type Result struct {
 // the "sdlint" check so they cannot silently rot.
 func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 	var diags []Diagnostic
+	prog := &Program{Pkgs: pkgs}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a, diags: &diags}
+			pass := &Pass{Pkg: pkg, Prog: prog, analyzer: a, diags: &diags}
 			a.Run(pass)
 		}
 		diags = append(diags, malformedDirectives(pkg)...)

@@ -140,6 +140,45 @@ func TestGoldenPrintBan(t *testing.T) {
 	runGolden(t, "printban", PrintBan(pathMatcher()), "printban")
 }
 
+func TestGoldenLockOrder(t *testing.T) {
+	runGolden(t, "lockorder", Lockorder(), "lockorder")
+}
+
+func TestGoldenGoroLeak(t *testing.T) {
+	runGolden(t, "goroleak", GoroLeak(), "goroleak")
+}
+
+func TestGoldenCtxFlow(t *testing.T) {
+	blocking := map[string]string{
+		"repro/internal/lint/testdata/src/ctxflow.Request": "RequestContext",
+	}
+	runGolden(t, "ctxflow", CtxFlow(blocking, "repro/"), "ctxflow")
+}
+
+// TestGoldenSuppressedCounts pins that each concurrency analyzer has at
+// least one finding silenced by an audited //lint:ignore in its golden
+// package — the suppression path is part of the contract, not a fluke
+// of the fixtures.
+func TestGoldenSuppressedCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Analyzer
+	}{
+		{"lockorder", Lockorder()},
+		{"goroleak", GoroLeak()},
+		{"ctxflow", CtxFlow(map[string]string{
+			"repro/internal/lint/testdata/src/ctxflow.Request": "RequestContext",
+		}, "repro/")},
+	}
+	for _, c := range cases {
+		pkg := loadTestdata(t, c.name)
+		res := Run([]*Package{pkg}, []*Analyzer{c.a})
+		if res.Suppressed == 0 {
+			t.Errorf("%s: golden package has no suppressed finding; the ignore-directive path is untested", c.name)
+		}
+	}
+}
+
 // TestGoldenIgnoreDemo checks the suppression positions end to end: the
 // want annotations in ignoredemo mark exactly the findings a directive
 // on the wrong line (or a malformed one) fails to silence.

@@ -1,0 +1,627 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockorder: interprocedural lock-acquisition analysis.
+//
+// The walker derives, for every function in the call graph, which
+// mutexes are held at every resolved call site by interpreting the body
+// in statement order: Lock/RLock adds to the held set, Unlock/RUnlock
+// removes, `defer mu.Unlock()` keeps the lock held to function exit, and
+// branches merge by intersection (a lock is "held" after an if/else only
+// if both arms leave it held), so conditional locking never produces a
+// phantom hold. A `go` statement starts its callee with an empty held
+// set — the spawned goroutine shares no lock context with its spawner.
+//
+// On top of the per-function facts the analyzer computes the transitive
+// may-acquire set of every function (fixpoint over call and defer edges)
+// and builds the global lock-acquisition graph: an edge A→B means "B was
+// acquired, directly or through a callee, while A was held". It reports
+//
+//   - self-deadlocks: acquiring a lock already in the held set, or
+//     calling (while holding L) into a function that re-acquires L; a
+//     read-read pair is exempt (recursive RLock only deadlocks under
+//     writer starvation, which would drown the report in noise);
+//   - lock-order cycles: any edge that closes a cycle in the acquisition
+//     graph is a potential AB/BA deadlock and is reported at the
+//     acquisition site that witnesses it.
+//
+// Lock identity is type-level: a field mutex is "pkg.Type.field" (every
+// instance of the type conflates — ordering violations between two
+// instances of one type are out of scope), a package-level mutex is
+// "pkg.var", and a local is scoped to its function. The inferred
+// hierarchy is dumped, sorted, by `sdlint -lockgraph` (FormatLockGraph)
+// so DESIGN.md can pin it.
+
+// lockMode distinguishes read from write acquisition of an RWMutex.
+type lockMode uint8
+
+const (
+	lockRead lockMode = 1 << iota
+	lockWrite
+)
+
+// rwConflict reports whether two acquisition modes of the same lock can
+// deadlock: anything involving a writer.
+func rwConflict(a, b lockMode) bool { return (a|b)&lockWrite != 0 }
+
+// lockFinding is one diagnostic-to-be, tagged with the package whose
+// pass should report it (keeps suppression and dedup per package).
+type lockFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// lockEdge is one edge of the global lock-acquisition graph with its
+// earliest witness position.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      token.Pos
+	witness  token.Position
+}
+
+// lockAnalysis is the memoized whole-program result.
+type lockAnalysis struct {
+	edges    map[[2]string]*lockEdge
+	findings []lockFinding
+}
+
+// lockSummary is one function's lock facts.
+type lockSummary struct {
+	heldAt   map[*CallEdge]map[string]lockMode // held set at each out-edge
+	acquires map[string]lockMode               // direct acquisitions
+	transAcq map[string]lockMode               // after the call-graph fixpoint
+}
+
+// lockAnalysisResult computes (once) the whole-program lock analysis.
+func (p *Program) lockAnalysisResult() *lockAnalysis {
+	if p.locks != nil {
+		return p.locks
+	}
+	la := &lockAnalysis{edges: map[[2]string]*lockEdge{}}
+	g := p.CallGraph()
+	nodes := g.SortedNodes()
+
+	// Per-function walk.
+	summ := map[*CGNode]*lockSummary{}
+	for _, n := range nodes {
+		w := &lockWalker{la: la, g: g, node: n, summ: &lockSummary{
+			heldAt:   map[*CallEdge]map[string]lockMode{},
+			acquires: map[string]lockMode{},
+		}}
+		w.stmts(n.Body().List, map[string]lockMode{})
+		summ[n] = w.summ
+	}
+
+	// Transitive may-acquire fixpoint over call and defer edges (never
+	// go edges: the spawned goroutine's acquisitions happen on another
+	// stack and cannot deadlock against locks merely held by the
+	// spawner at spawn time).
+	for _, s := range summ {
+		s.transAcq = map[string]lockMode{}
+		for id, m := range s.acquires {
+			s.transAcq[id] = m
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := summ[n]
+			for _, e := range n.Out {
+				if e.Kind == EdgeGo {
+					continue
+				}
+				cs := summ[e.Callee]
+				for id, m := range cs.transAcq {
+					if s.transAcq[id]&m != m {
+						s.transAcq[id] |= m
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Interprocedural edges and self-deadlocks: compose each call site's
+	// held set with the callee's transitive acquisitions.
+	for _, n := range nodes {
+		s := summ[n]
+		for _, e := range n.Out {
+			if e.Kind == EdgeGo {
+				continue
+			}
+			held := s.heldAt[e]
+			if len(held) == 0 {
+				continue
+			}
+			cs := summ[e.Callee]
+			for _, id := range sortedLockIDs(held) {
+				for _, aid := range sortedLockIDs(cs.transAcq) {
+					if aid == id {
+						if rwConflict(held[id], cs.transAcq[aid]) {
+							la.finding(n.Pkg, e.Pos,
+								"call to %s while holding %s, which the callee re-acquires (self-deadlock)",
+								e.Callee.ID, id)
+						}
+						continue
+					}
+					la.addEdge(id, aid, n.Pkg, e.Pos)
+				}
+			}
+		}
+	}
+
+	// Cycle detection: an edge whose target can reach its source closes
+	// a cycle; report it at the witness acquisition site.
+	succ := map[string][]string{}
+	for _, e := range la.edges {
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+	for _, e := range sortedLockEdges(la.edges) {
+		if lockReaches(succ, e.to, e.from) {
+			la.finding(e.pkg, e.pos,
+				"lock-order cycle: %s acquired while holding %s, but a reverse acquisition path exists (AB/BA deadlock risk)",
+				e.to, e.from)
+		}
+	}
+
+	sort.Slice(la.findings, func(i, j int) bool {
+		return la.findings[i].pos < la.findings[j].pos
+	})
+	p.locks = la
+	return la
+}
+
+func (la *lockAnalysis) finding(pkg *Package, pos token.Pos, format string, args ...any) {
+	la.findings = append(la.findings, lockFinding{pkg: pkg, pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// addEdge records from→to, keeping the earliest witness position so
+// repeated runs dump identical graphs.
+func (la *lockAnalysis) addEdge(from, to string, pkg *Package, pos token.Pos) {
+	k := [2]string{from, to}
+	w := pkg.Fset.Position(pos)
+	if e, ok := la.edges[k]; ok {
+		if posLess(w, e.witness) {
+			e.pkg, e.pos, e.witness = pkg, pos, w
+		}
+		return
+	}
+	la.edges[k] = &lockEdge{from: from, to: to, pkg: pkg, pos: pos, witness: w}
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func sortedLockIDs(m map[string]lockMode) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func sortedLockEdges(m map[[2]string]*lockEdge) []*lockEdge {
+	out := make([]*lockEdge, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+// lockReaches reports whether from can reach to in the acquisition graph.
+func lockReaches(succ map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		for _, s := range succ[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// lockWalker interprets one function body in statement order.
+type lockWalker struct {
+	la   *lockAnalysis
+	g    *CallGraph
+	node *CGNode
+	summ *lockSummary
+}
+
+func cloneHeld(h map[string]lockMode) map[string]lockMode {
+	c := make(map[string]lockMode, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersectHeld keeps only locks held on both paths (modes union, so a
+// write on either path keeps its conflict potential).
+func intersectHeld(a, b map[string]lockMode) map[string]lockMode {
+	out := map[string]lockMode{}
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			out[k] = v | w
+		}
+	}
+	return out
+}
+
+// stmts walks a statement list; it returns the held set at the fall-off
+// point and whether control provably never falls off (return/panic on
+// every path).
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]lockMode) (map[string]lockMode, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]lockMode) (map[string]lockMode, bool) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(x.List, held)
+
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, mode, acq, ok := w.lockOp(call); ok {
+				if acq {
+					w.acquire(id, mode, call.Lparen, held)
+				} else {
+					delete(held, id)
+				}
+				return held, false
+			}
+		}
+		w.exprEdges(x.X, held)
+		return held, isTerminalExpr(w.node.Pkg, x.X)
+
+	case *ast.DeferStmt:
+		if id, _, acq, ok := w.lockOp(x.Call); ok && !acq {
+			_ = id // deferred unlock: the lock stays held until exit
+			return held, false
+		}
+		w.exprEdges(x.Call, held)
+		return held, false
+
+	case *ast.GoStmt:
+		w.exprEdges(x.Call, held)
+		return held, false
+
+	case *ast.ReturnStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.exprEdges(s, held)
+		_, isRet := s.(*ast.ReturnStmt)
+		return held, isRet
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.exprEdges(x.Cond, held)
+		thenOut, thenTerm := w.stmts(x.Body.List, cloneHeld(held))
+		elseOut, elseTerm := held, false
+		if x.Else != nil {
+			elseOut, elseTerm = w.stmt(x.Else, cloneHeld(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersectHeld(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			w.exprEdges(x.Cond, held)
+		}
+		bodyOut, bodyTerm := w.stmts(x.Body.List, cloneHeld(held))
+		if x.Post != nil && !bodyTerm {
+			bodyOut, _ = w.stmt(x.Post, bodyOut)
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyOut), false
+
+	case *ast.RangeStmt:
+		w.exprEdges(x.X, held)
+		bodyOut, bodyTerm := w.stmts(x.Body.List, cloneHeld(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyOut), false
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			w.exprEdges(x.Tag, held)
+		}
+		return w.caseMerge(x.Body.List, held, false)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		return w.caseMerge(x.Body.List, held, false)
+
+	case *ast.SelectStmt:
+		return w.caseMerge(x.Body.List, held, true)
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; for merge purposes
+		// the path is gone (a slight under-approximation that only ever
+		// shrinks held sets — it cannot create false positives).
+		return held, true
+
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+
+	default:
+		return held, false
+	}
+}
+
+// caseMerge walks switch/select clause bodies from a shared entry state
+// and merges the survivors by intersection. Without a default clause a
+// switch may skip every case, so the entry state joins the merge; a
+// select with no default blocks until some clause runs.
+func (w *lockWalker) caseMerge(clauses []ast.Stmt, held map[string]lockMode, isSelect bool) (map[string]lockMode, bool) {
+	var outs []map[string]lockMode
+	hasDefault := false
+	nCases := 0
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.exprEdges(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				_, _ = w.stmt(c.Comm, cloneHeld(held))
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		nCases++
+		out, term := w.stmts(body, cloneHeld(held))
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	exhaustive := hasDefault || (isSelect && nCases > 0)
+	if len(outs) == 0 {
+		if exhaustive {
+			return held, true // every clause terminates and one must run
+		}
+		return held, false
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersectHeld(merged, o)
+	}
+	if !exhaustive {
+		merged = intersectHeld(merged, held)
+	}
+	return merged, false
+}
+
+// acquire records a Lock/RLock: order edges against everything already
+// held, a self-deadlock if the lock is already in the held set (unless
+// read-read), then the new hold.
+func (w *lockWalker) acquire(id string, mode lockMode, pos token.Pos, held map[string]lockMode) {
+	if old, reentrant := held[id]; reentrant && rwConflict(old, mode) {
+		w.la.finding(w.node.Pkg, pos, "%s acquired while already held (self-deadlock)", id)
+	}
+	for h := range held {
+		if h != id {
+			w.la.addEdge(h, id, w.node.Pkg, pos)
+		}
+	}
+	held[id] |= mode
+	w.summ.acquires[id] |= mode
+}
+
+// exprEdges snapshots the current held set at every resolved call edge
+// inside the expression (or statement). Function-literal interiors are
+// excluded — literals are their own graph nodes with their own walk —
+// and go edges snapshot empty (the spawnee starts with no locks).
+func (w *lockWalker) exprEdges(n ast.Node, held map[string]lockMode) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		e := w.g.EdgeByCall[call]
+		if e == nil || e.Caller != w.node {
+			return true
+		}
+		snap := map[string]lockMode{}
+		if e.Kind != EdgeGo {
+			snap = cloneHeld(held)
+		}
+		if prev, seen := w.summ.heldAt[e]; seen {
+			snap = intersectHeld(prev, snap)
+		}
+		w.summ.heldAt[e] = snap
+		return true
+	})
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex acquire or release
+// and identifies the lock.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (id string, mode lockMode, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		mode, acquire = lockWrite, true
+	case "RLock":
+		mode, acquire = lockRead, true
+	case "Unlock":
+		mode, acquire = lockWrite, false
+	case "RUnlock":
+		mode, acquire = lockRead, false
+	default:
+		return "", 0, false, false
+	}
+	fn, _ := w.node.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	id, ok = w.lockID(sel.X)
+	if !ok {
+		return "", 0, false, false
+	}
+	return id, mode, acquire, true
+}
+
+// lockID names the mutex operand. Field mutexes are identified by the
+// owner's static type ("pkg.Type.field"), package-level mutexes by
+// "pkg.var", locals by their enclosing function.
+func (w *lockWalker) lockID(e ast.Expr) (string, bool) {
+	info := w.node.Pkg.Info
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj, _ := info.ObjectOf(x.Sel).(*types.Var)
+		if obj == nil || !obj.IsField() {
+			return "", false
+		}
+		owner := namedType(info.TypeOf(x.X))
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return "", false
+		}
+		return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + obj.Name(), true
+	case *ast.Ident:
+		v, _ := info.ObjectOf(x).(*types.Var)
+		if v == nil {
+			return "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+		// Local (including a receiver that embeds the mutex): scope the
+		// identity to the declared function so distinct locals in
+		// different functions never alias.
+		rootID := w.node.ID
+		if i := indexByte(rootID, '$'); i >= 0 {
+			rootID = rootID[:i]
+		}
+		return rootID + "." + v.Name(), true
+	}
+	return "", false
+}
+
+// isTerminalExpr reports whether the expression statement provably does
+// not return: panic, os.Exit, log.Fatal*, runtime.Goexit.
+func isTerminalExpr(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+		if b, isB := pkg.Info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+			return true
+		}
+	}
+	if pkgPath, name, _, isPkgFn := pkgFuncCall(pkg.Info, call); isPkgFn {
+		switch {
+		case pkgPath == "os" && name == "Exit",
+			pkgPath == "runtime" && name == "Goexit",
+			pkgPath == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"),
+			pkgPath == "log" && (name == "Panic" || name == "Panicf" || name == "Panicln"):
+			return true
+		}
+	}
+	return false
+}
+
+// Lockorder returns the lock-order analyzer. The analysis itself is
+// whole-program and memoized on the Pass's Program; each pass reports
+// only the findings positioned in its own package.
+func Lockorder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "lock-acquisition cycles (AB/BA deadlocks) and re-entrant self-deadlocks across call chains",
+		Run: func(pass *Pass) {
+			la := pass.Prog.lockAnalysisResult()
+			for _, f := range la.findings {
+				if f.pkg == pass.Pkg {
+					pass.Reportf(f.pos, "%s", f.msg)
+				}
+			}
+		},
+	}
+}
+
+// FormatLockGraph renders the inferred lock-acquisition graph as sorted,
+// byte-stable text: one "A -> B (file:line)" line per edge, the witness
+// being the earliest acquisition site that orders the pair.
+func FormatLockGraph(prog *Program) string {
+	la := prog.lockAnalysisResult()
+	var b []byte
+	for _, e := range sortedLockEdges(la.edges) {
+		b = append(b, fmt.Sprintf("%s -> %s (%s:%d)\n", e.from, e.to, baseName(e.witness.Filename), e.witness.Line)...)
+	}
+	return string(b)
+}

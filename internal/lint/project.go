@@ -44,6 +44,22 @@ var PrintAllowedPkgs = []string{}
 // ObsPath is the observability package the obshot check guards calls into.
 const ObsPath = "repro/internal/obs"
 
+// ModulePrefix scopes the interprocedural analyzers to module-local
+// callees (stdlib and vendored code are never findings).
+const ModulePrefix = "repro/"
+
+// CtxBlocking maps the context-less convenience wrappers of blocking
+// middleware operations to their context-aware variants. Inside a
+// context-accepting function, calling the wrapper silently discards the
+// caller's cancellation — ctxflow points at the variant instead.
+var CtxBlocking = map[string]string{
+	"repro/internal/bus.Request":                   "bus.RequestContext",
+	"repro/internal/bus.Respond":                   "bus.RespondContext",
+	"(*repro/internal/broker.Broker).Gather":       "Broker.GatherContext",
+	"(*repro/internal/cloud.LocalCloud).Gather":    "LocalCloud.GatherContext",
+	"(*repro/internal/cloud.PublicCloud).Assemble": "PublicCloud.AssembleContext",
+}
+
 // ProjectAnalyzers returns the full sdlint analyzer suite with the
 // project's scoping baked in.
 func ProjectAnalyzers() []*Analyzer {
@@ -53,5 +69,8 @@ func ProjectAnalyzers() []*Analyzer {
 		ObsHot(pathMatcher(HotPathPkgs...), ObsPath),
 		ErrCheck(pathMatcher(ErrcheckScope...)),
 		PrintBan(pathMatcher(PrintAllowedPkgs...)),
+		Lockorder(),
+		GoroLeak(),
+		CtxFlow(CtxBlocking, ModulePrefix),
 	}
 }

@@ -1,0 +1,29 @@
+// Package callgraphfix is a hand-checked fixture for the call-graph
+// builder: every resolution rule (direct call, concrete-receiver method,
+// interface dispatch left unresolved, function literals, local literal
+// bindings) and every edge kind (call, go, defer) appears exactly once
+// in a known place, and callgraph_test.go pins the formatted graph.
+package callgraphfix
+
+type ringer struct{ n int }
+
+func (r *ringer) Ring() { r.n++ }
+
+type noise interface{ Ring() }
+
+func helper() {}
+
+// Entry exercises one of everything.
+func Entry(ifc noise) {
+	helper()       // call edge to a package function
+	defer helper() // defer edge
+	r := &ringer{}
+	r.Ring()    // call edge through a concrete receiver
+	go r.Ring() // go edge
+	ifc.Ring()  // interface dispatch: unresolved, no edge
+	send := func() { helper() }
+	send()      // call edge to the bound literal
+	go func() { // go edge to an anonymous literal
+		helper()
+	}()
+}

@@ -1,0 +1,134 @@
+// Package goroleak is golden input for the goroutine-leak analyzer:
+// unbounded service loops with no shutdown edge, the blessed exit idioms
+// (done/ctx select arms, channel-close range, bounded loops), and the
+// audited-daemon suppression.
+package goroleak
+
+import "context"
+
+func work() {}
+
+// spin leaks: the spawned loop has no exit path at all.
+func spin() {
+	go func() {
+		for { // want `no exit path`
+			work()
+		}
+	}()
+}
+
+// helperLoop is only ever reached through a go statement; the finding
+// lands on the loop, naming the spawn site.
+func helperLoop() {
+	for { // want `no exit path`
+		work()
+	}
+}
+
+func spawnHelper() {
+	go helperLoop()
+}
+
+// bounded exits through the done select arm.
+func bounded(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxBounded exits when the context is cancelled.
+func ctxBounded(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// drain exits when the channel is closed: range loops are bounded by
+// construction.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// breakOut exits through an unlabeled break targeting the loop itself; a
+// break inside the select targets the select and does not count, so only
+// the outer one saves this loop.
+func breakOut(ch chan int) {
+	go func() {
+		for {
+			if _, ok := <-ch; !ok {
+				break
+			}
+		}
+	}()
+}
+
+// labeledBreak exits via a labeled break from inside a select arm.
+func labeledBreak(ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					break loop
+				}
+			}
+		}
+	}()
+}
+
+// selectBreakOnly does NOT exit: its only break targets the select.
+func selectBreakOnly(ch chan int) {
+	go func() {
+		for { // want `no exit path`
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// daemon is the audited-suppression case: an intentional process-
+// lifetime goroutine.
+func daemon() {
+	go func() {
+		//lint:ignore goroleak golden-test fixture: intentional process-lifetime daemon
+		for {
+			work()
+		}
+	}()
+}
+
+// block leaks by construction: an empty select never returns.
+func block() {
+	go func() {
+		select {} // want `blocks forever`
+	}()
+}
+
+// syncLoop is never go-spawned; the same shape is not a finding when it
+// runs on the caller's goroutine.
+func syncLoop() {
+	for {
+		work()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/testutil"
 )
 
 // TestStatsAccessorsUnderConcurrentTraffic is the -race audit of the stats
@@ -14,6 +15,7 @@ import (
 // the per-node Stats or the simTime accumulator shows up as a data race
 // under scripts/check.sh's race suite.
 func TestStatsAccessorsUnderConcurrentTraffic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	n := New(42)
 	const nodes = 8
 	ids := make([]string, nodes)

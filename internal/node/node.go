@@ -70,8 +70,9 @@ type Node struct {
 	mobility mobility.Model
 	rng      *rand.Rand
 
-	mu   sync.Mutex
-	subs []*bus.Subscription
+	mu      sync.Mutex
+	subs    []*bus.Subscription
+	serveWG sync.WaitGroup // joins the bus-handler goroutines on Detach
 }
 
 // New builds a node with the full standard probe complement.
@@ -229,13 +230,15 @@ func (n *Node) AttachBus(b *bus.Bus, ncID string) error {
 	n.mu.Lock()
 	n.subs = append(n.subs, measure, position, status)
 	n.mu.Unlock()
+	n.serveWG.Add(3)
 	go n.serve(b, measure, n.handleMeasure)
 	go n.serve(b, position, n.handlePosition)
 	go n.serve(b, status, n.handleStatus)
 	return nil
 }
 
-// Detach unsubscribes all bus handlers.
+// Detach unsubscribes all bus handlers and joins their goroutines: when
+// Detach returns, no handler will touch the node or the bus again.
 func (n *Node) Detach() {
 	n.mu.Lock()
 	subs := n.subs
@@ -244,10 +247,14 @@ func (n *Node) Detach() {
 	for _, s := range subs {
 		s.Unsubscribe()
 	}
+	n.serveWG.Wait()
 }
 
 // serve decodes request envelopes from sub and replies with fn's result.
+// It exits when the subscription's channel closes (Unsubscribe or bus
+// Close).
 func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (any, error)) {
+	defer n.serveWG.Done()
 	for msg := range sub.C {
 		var env struct {
 			ReplyTo string          `json:"replyTo"`

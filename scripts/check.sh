@@ -12,17 +12,31 @@ echo "== sdlint =="
 # Project-invariant static analysis (internal/lint). The summary line on
 # stderr doubles as a self-check: a refactor that breaks package loading
 # would report zero packages analyzed and "pass" vacuously, so gate on
-# the count too.
+# the package count AND the analyzer count (a suite wiring regression
+# that silently dropped the interprocedural analyzers would also pass
+# vacuously). The wall-clock budget keeps the call-graph/lock-order
+# layer honest: whole-tree analysis must stay interactive.
+SDLINT_START=$SECONDS
 SDLINT_OUT="$(go run ./cmd/sdlint ./... 2>&1)" || {
     echo "$SDLINT_OUT"
     echo "FAIL: sdlint reported findings (or could not load the tree)"
     exit 1
 }
+SDLINT_SECS=$((SECONDS - SDLINT_START))
 echo "$SDLINT_OUT"
 if ! echo "$SDLINT_OUT" | grep -Eq 'analyzed [1-9][0-9]* packages'; then
     echo "FAIL: sdlint analyzed zero packages — loader or pattern expansion is broken"
     exit 1
 fi
+if ! echo "$SDLINT_OUT" | grep -Eq 'with 8 analyzers'; then
+    echo "FAIL: sdlint ran without the full 8-analyzer suite — check ProjectAnalyzers wiring"
+    exit 1
+fi
+if [ "$SDLINT_SECS" -gt 20 ]; then
+    echo "FAIL: sdlint took ${SDLINT_SECS}s (> 20s budget) — the interprocedural layer regressed"
+    exit 1
+fi
+echo "sdlint wall clock: ${SDLINT_SECS}s (budget 20s)"
 
 echo "== fuzz smoke =="
 # A few seconds per target: enough to catch a decoder that started
@@ -32,6 +46,7 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz '^FuzzDecodeOMP$' -fuzztime 3s ./internal/cs
 go test -run '^$' -fuzz '^FuzzDecodeIHT$' -fuzztime 3s ./internal/cs
 go test -run '^$' -fuzz '^FuzzParseFrame$' -fuzztime 3s ./internal/bus
+go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 3s ./internal/lint
 
 echo "== go test -race =="
 GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
