@@ -54,11 +54,13 @@ const (
 
 // Config configures a broker.
 type Config struct {
-	ID         string
-	Seed       int64
-	InfraSigma float64         // noise of infrastructure sensors (default 0.05)
-	Timeout    time.Duration   // per-node request timeout (default 2 s)
-	Selection  SelectionPolicy // node selection policy (default SelectRandom)
+	ID           string
+	Seed         int64
+	InfraSigma   float64         // noise of infrastructure sensors (default 0.05)
+	Timeout      time.Duration   // per-node request timeout (default 2 s)
+	Selection    SelectionPolicy // node selection policy (default SelectRandom)
+	Retries      int             // extra per-node attempts after the first (0 = default 2, negative = none)
+	RetryBackoff time.Duration   // base backoff between attempts (default 5 ms)
 }
 
 // Broker orchestrates one NanoCloud.
@@ -71,9 +73,13 @@ type Broker struct {
 	timeout   time.Duration
 	infraSD   float64
 	selection SelectionPolicy
+	attempts  int
+	backoff   time.Duration
+	retrySeed int64
 
-	mu    sync.Mutex
-	nodes []string // guarded by mu
+	mu      sync.Mutex
+	nodes   []string // guarded by mu
+	infraOK bool     // guarded by mu; infrastructure fallback available
 }
 
 // New creates a broker for a NanoCloud whose nodes observe env.
@@ -93,12 +99,40 @@ func New(cfg Config, b *bus.Bus, env node.Environment) (*Broker, error) {
 	if cfg.Selection == "" {
 		cfg.Selection = SelectRandom
 	}
+	attempts := 1 + cfg.Retries
+	if cfg.Retries == 0 {
+		attempts = 3 // default: the first try plus two retries
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
 	return &Broker{
 		ID: cfg.ID, Bus: b, env: env,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		timeout: cfg.Timeout, infraSD: cfg.InfraSigma,
 		selection: cfg.Selection,
+		attempts:  attempts, backoff: cfg.RetryBackoff, retrySeed: cfg.Seed,
+		infraOK: true,
 	}, nil
+}
+
+// SetInfraEnabled toggles the infrastructure-sensor fallback (default
+// on). Modelling a regional infra outage: with it off, a gather round
+// that cannot fill its budget from mobile nodes returns a partial result
+// with Shortfall set — or an error if nothing at all was gathered.
+func (br *Broker) SetInfraEnabled(on bool) {
+	br.mu.Lock()
+	br.infraOK = on
+	br.mu.Unlock()
+}
+
+func (br *Broker) infraEnabled() bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.infraOK
 }
 
 // Register adds a node to the broker's roster. The node must have
@@ -151,12 +185,17 @@ func (br *Broker) PositionsContext(ctx context.Context) map[string]int {
 	return out
 }
 
-// request is one per-node round trip: the broker's per-request timeout
-// layered on the caller's context.
+// request is one per-node round trip under the broker's retry policy:
+// each attempt is bounded by the broker's per-request timeout, transient
+// failures (node down, attempt timeout) are retried with seeded-jitter
+// backoff, and the whole exchange stays inside the caller's context.
 func (br *Broker) request(ctx context.Context, topic string, body, out any) error {
-	rctx, cancel := context.WithTimeout(ctx, br.timeout)
-	defer cancel()
-	return bus.RequestContext(rctx, br.Bus, topic, body, out)
+	return bus.RequestRetryContext(ctx, br.Bus, topic, body, out, bus.RetryPolicy{
+		Attempts:       br.attempts,
+		AttemptTimeout: br.timeout,
+		BaseBackoff:    br.backoff,
+		Seed:           br.retrySeed,
+	})
 }
 
 // Gather is one telemetry round: the broker randomly selects up to m
@@ -173,6 +212,14 @@ type GatherResult struct {
 	NodesUsed int
 	InfraUsed int
 	Denied    int
+
+	// Degradation accounting. BrokersFailed counts constituent brokers
+	// whose round failed outright (populated by zone-level merges; always
+	// 0 for a single broker's round). Shortfall is how far the round came
+	// in under the requested budget after every fallback was exhausted —
+	// non-zero only when the round was degraded, e.g. by an infra outage.
+	BrokersFailed int
+	Shortfall     int
 }
 
 // Gather runs one measurement round for the given sensor kind.
@@ -185,6 +232,16 @@ func (br *Broker) Gather(kind sensor.Kind, m int) (*GatherResult, error) {
 // cancelled round returns promptly instead of draining the full roster
 // at one timeout per unreachable node.
 func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*GatherResult, error) {
+	return br.GatherExcludingContext(ctx, kind, m, nil)
+}
+
+// GatherExcludingContext is GatherContext with a set of grid cells the
+// round must not measure — cells another broker in the same zone already
+// covered. The zone merge uses it to redistribute a failed or short
+// broker's budget to survivors without re-buying duplicate coverage. The
+// budget clamps to the cells actually available once exclusions are
+// removed.
+func (br *Broker) GatherExcludingContext(ctx context.Context, kind sensor.Kind, m int, exclude map[int]bool) (*GatherResult, error) {
 	if m <= 0 {
 		return nil, errors.New("broker: measurement count must be positive")
 	}
@@ -193,8 +250,17 @@ func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*
 	defer sp.Finish()
 	gw, gh := br.env.GridDims()
 	n := gw * gh
-	if m > n {
-		m = n
+	avail := n
+	for cell := range exclude {
+		if cell >= 0 && cell < n {
+			avail--
+		}
+	}
+	if m > avail {
+		m = avail
+	}
+	if m == 0 {
+		return nil, errors.New("broker: no cells available after exclusions")
 	}
 	ids := br.orderNodes(ctx)
 	res := &GatherResult{}
@@ -216,7 +282,7 @@ func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*
 			res.Denied++
 			continue
 		}
-		if seen[reading.GridIdx] {
+		if seen[reading.GridIdx] || exclude[reading.GridIdx] {
 			continue // duplicate cell adds no spatial information
 		}
 		seen[reading.GridIdx] = true
@@ -226,11 +292,12 @@ func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*
 		res.NodeIDs = append(res.NodeIDs, reading.NodeID)
 		res.NodesUsed++
 	}
-	// Infrastructure fallback for the shortfall.
-	if len(res.Locs) < m {
+	// Infrastructure fallback for the shortfall (unless the outage model
+	// has taken the region's infra sensors offline).
+	if len(res.Locs) < m && br.infraEnabled() {
 		free := make([]int, 0, n)
 		for i := 0; i < n; i++ {
-			if !seen[i] {
+			if !seen[i] && !exclude[i] {
 				free = append(free, i)
 			}
 		}
@@ -253,6 +320,7 @@ func (br *Broker) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*
 	if len(res.Locs) == 0 {
 		return nil, errors.New("broker: no measurements gathered")
 	}
+	res.Shortfall = m - len(res.Locs)
 	obsGatherRounds.Inc()
 	obsGatherMobile.Add(int64(res.NodesUsed))
 	obsGatherInfra.Add(int64(res.InfraUsed))

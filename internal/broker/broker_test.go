@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"repro/internal/cs"
 	"repro/internal/field"
 	"repro/internal/mobility"
+	"repro/internal/netsim"
 	"repro/internal/node"
 	"repro/internal/sensor"
 	"repro/internal/testutil"
@@ -313,6 +317,190 @@ func TestGatherSurvivesUnreachableNodes(t *testing.T) {
 	}
 	if g.NodesUsed != 0 || g.InfraUsed != 6 {
 		t.Fatalf("gather %+v, want all-infra", g)
+	}
+}
+
+// measureRequest reports whether a bus topic is a broker→node measure
+// command (and not the reply leg of one).
+func measureRequest(topic string) bool {
+	return strings.Contains(topic, "/measure") && !strings.Contains(topic, "/reply/")
+}
+
+// TestGatherRetriesTransientNodeFailures injects a one-shot crash per
+// node at the transport (every first measure command fails with netsim's
+// typed down error) and asserts the broker's retry layer recovers the
+// full round instead of writing the nodes off.
+func TestGatherRetriesTransientNodeFailures(t *testing.T) {
+	br, _, _ := testNC(t, 3, 21)
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	br.Bus.SetInterceptor(func(m bus.Message) (bool, error) {
+		if !measureRequest(m.Topic) {
+			return true, nil
+		}
+		mu.Lock()
+		attempts[m.Topic]++
+		first := attempts[m.Topic] == 1
+		mu.Unlock()
+		if first {
+			return false, &netsim.NodeDownError{ID: m.Topic}
+		}
+		return true, nil
+	})
+	g, err := br.Gather(sensor.Temperature, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodesUsed == 0 {
+		t.Fatal("no node recovered: retry layer not engaged")
+	}
+	if len(g.Locs) != 6 {
+		t.Fatalf("gathered %d, want 6", len(g.Locs))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for topic, n := range attempts {
+		if n < 2 {
+			t.Fatalf("node %s solicited %d time(s); the transient failure was never retried", topic, n)
+		}
+	}
+}
+
+// TestGatherInfraTopUpForPermanentlyDownNode pins the other side of the
+// retry budget: a node that stays down exhausts its attempts, is
+// skipped, and the infra fallback still fills the round.
+func TestGatherInfraTopUpForPermanentlyDownNode(t *testing.T) {
+	br, _, _ := testNC(t, 3, 22)
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	br.Bus.SetInterceptor(func(m bus.Message) (bool, error) {
+		if measureRequest(m.Topic) && strings.Contains(m.Topic, "/n0/") {
+			mu.Lock()
+			attempts[m.Topic]++
+			mu.Unlock()
+			return false, &netsim.NodeDownError{ID: "n0"}
+		}
+		return true, nil
+	})
+	g, err := br.Gather(sensor.Temperature, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Locs) != 8 {
+		t.Fatalf("gathered %d, want 8 (infra must absorb the down node)", len(g.Locs))
+	}
+	if g.InfraUsed == 0 {
+		t.Fatal("infra top-up not engaged despite a down node")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for topic, n := range attempts {
+		if n != 3 {
+			t.Fatalf("down node %s got %d attempts, want 3 (default retry budget)", topic, n)
+		}
+	}
+	// Distinct cells even under faults.
+	seen := map[int]bool{}
+	for _, l := range g.Locs {
+		if seen[l] {
+			t.Fatalf("duplicate cell %d in faulted gather", l)
+		}
+		seen[l] = true
+	}
+}
+
+// TestGatherContextCancelledMidRoster cancels while the roster walk is in
+// flight (at the second node's solicitation) and asserts the round
+// returns the wrapped context error instead of a partial result.
+func TestGatherContextCancelledMidRoster(t *testing.T) {
+	br, _, _ := testNC(t, 4, 23)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var n atomic.Int32
+	br.Bus.SetInterceptor(func(m bus.Message) (bool, error) {
+		if measureRequest(m.Topic) && n.Add(1) == 2 {
+			cancel()
+		}
+		return true, nil
+	})
+	_, err := br.GatherContext(ctx, sensor.Temperature, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-roster cancel = %v, want wrapped context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "abandoned") {
+		t.Fatalf("error %q does not identify the abandoned round", err)
+	}
+}
+
+// TestGatherDeduplicatesCoLocatedNodes crowds six nodes onto a 2×2 grid
+// so cell collisions are unavoidable and pins the duplicate path:
+// co-located readings are dropped, the result has distinct cells, and
+// the per-source counts stay consistent.
+func TestGatherDeduplicatesCoLocatedNodes(t *testing.T) {
+	truth := field.GenSmoothGradient(2, 2, 20, 5, 2)
+	env := fieldEnv{f: truth}
+	b := bus.New()
+	defer b.Close()
+	br, err := New(Config{ID: "nc0", Seed: 24, Timeout: 2 * time.Second}, b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 6; i++ {
+		mob, err := mobility.NewRandomWaypoint(rand.New(rand.NewSource(rng.Int63())), 20, 20, 1, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := node.New(node.Config{ID: fmt.Sprintf("n%d", i), Seed: rng.Int63()}, env, mob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.AttachBus(b, "nc0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := br.Register(nd.ID); err != nil {
+			t.Fatal(err)
+		}
+		ndRef := nd
+		defer ndRef.Detach()
+	}
+	g, err := br.Gather(sensor.Temperature, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range g.Locs {
+		if seen[l] {
+			t.Fatalf("duplicate cell %d survived dedup", l)
+		}
+		seen[l] = true
+	}
+	if g.NodesUsed+g.InfraUsed != len(g.Locs) {
+		t.Fatalf("source counts %d+%d inconsistent with %d cells", g.NodesUsed, g.InfraUsed, len(g.Locs))
+	}
+	if len(g.Locs) != 4 {
+		t.Fatalf("gathered %d cells on a 4-cell grid with budget 4", len(g.Locs))
+	}
+}
+
+// TestGatherShortfallWithInfraDisabled pins the partial-result contract
+// under a regional infra outage: the round reports how far under budget
+// it landed instead of failing or silently shrinking.
+func TestGatherShortfallWithInfraDisabled(t *testing.T) {
+	br, _, _ := testNC(t, 2, 25)
+	br.SetInfraEnabled(false)
+	g, err := br.Gather(sensor.Temperature, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InfraUsed != 0 {
+		t.Fatal("infra used despite outage")
+	}
+	if g.NodesUsed == 0 || g.NodesUsed > 2 {
+		t.Fatalf("NodesUsed = %d with a 2-node roster", g.NodesUsed)
+	}
+	if g.Shortfall != 10-len(g.Locs) || g.Shortfall == 0 {
+		t.Fatalf("shortfall %d inconsistent with %d/10 gathered", g.Shortfall, len(g.Locs))
 	}
 }
 

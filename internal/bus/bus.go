@@ -73,14 +73,23 @@ func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 // Unsubscribe detaches the subscription and closes its channel.
 func (s *Subscription) Unsubscribe() { s.bus.unsubscribe(s) }
 
+// Interceptor sits between Publish and fan-out, modelling the transport
+// under the bus: return (false, nil) to drop the message silently (the
+// publish is still counted and hooks still run — the radio spent the
+// energy), or a non-nil error to fail the publish (nothing delivered).
+// The chaos harness uses this to route bus traffic through a
+// netsim.Network with an active fault plan.
+type Interceptor func(msg Message) (deliver bool, err error)
+
 // Bus is an in-process pub/sub broker, safe for concurrent use.
 type Bus struct {
-	mu       sync.RWMutex
-	subs     map[uint64]*Subscription // guarded by mu
-	nextID   uint64                   // guarded by mu
-	hooks    []Hook                   // guarded by mu
-	retained map[string]Message       // guarded by mu; last-value cache per topic
-	closed   bool                     // guarded by mu
+	mu          sync.RWMutex
+	subs        map[uint64]*Subscription // guarded by mu
+	nextID      uint64                   // guarded by mu
+	hooks       []Hook                   // guarded by mu
+	retained    map[string]Message       // guarded by mu; last-value cache per topic
+	closed      bool                     // guarded by mu
+	interceptor atomic.Pointer[Interceptor]
 }
 
 // ErrClosed reports use of a closed bus.
@@ -229,12 +238,48 @@ func (b *Bus) Retained(topic string) (Message, bool) {
 	return m, ok
 }
 
+// SetInterceptor installs (or, with nil, removes) the transport
+// interceptor consulted on every Publish. The interceptor runs outside
+// the bus lock, so it may do its own locking but must not publish on
+// this bus (the message it is deciding would recurse).
+func (b *Bus) SetInterceptor(i Interceptor) {
+	if i == nil {
+		b.interceptor.Store(nil)
+		return
+	}
+	b.interceptor.Store(&i)
+}
+
 // Publish delivers the message to every matching subscription. It never
 // blocks: a subscriber with a full buffer has the message counted as
 // dropped instead.
 func (b *Bus) Publish(topic string, payload []byte) error {
 	if !ValidTopic(topic) {
 		return fmt.Errorf("bus: invalid topic %q", topic)
+	}
+	if ip := b.interceptor.Load(); ip != nil {
+		deliver, err := (*ip)(Message{Topic: topic, Payload: payload})
+		if err != nil {
+			return err
+		}
+		if !deliver {
+			// Transmitted but lost in the simulated transport: the publish
+			// happened from the publisher's point of view — count it and run
+			// the energy hooks — but no subscriber hears it.
+			b.mu.RLock()
+			if b.closed {
+				b.mu.RUnlock()
+				return ErrClosed
+			}
+			hooks := b.hooks
+			b.mu.RUnlock()
+			obsPublished.Inc()
+			obsPublishBytes.Add(int64(len(payload)))
+			for _, h := range hooks {
+				h(topic, len(payload))
+			}
+			return nil
+		}
 	}
 	b.mu.RLock()
 	if b.closed {

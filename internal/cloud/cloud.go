@@ -28,6 +28,13 @@ var (
 	obsAssembleRounds = obs.GetCounter("cloud.assemble.rounds")
 	obsAssembleZones  = obs.GetCounter("cloud.assemble.zones")
 	obsAssembleBudget = obs.GetCounter("cloud.assemble.budget")
+	// Zone-degradation view: how many constituent brokers the most recent
+	// zone gather lost, and how far under budget it landed after
+	// redistribution. Counters accumulate across rounds for rate views.
+	obsGatherBrokersFailedLast = obs.GetGauge("cloud.gather.brokers_failed.last")
+	obsGatherShortfallLast     = obs.GetGauge("cloud.gather.shortfall.last")
+	obsGatherBrokersFailed     = obs.GetCounter("cloud.gather.brokers_failed")
+	obsGatherShortfall         = obs.GetCounter("cloud.gather.shortfall")
 )
 
 // ZoneEnv exposes one zone of a (live) global field as a node.Environment:
@@ -124,9 +131,16 @@ func (lc *LocalCloud) Gather(kind sensor.Kind, m int) (*broker.GatherResult, err
 	return lc.GatherContext(context.Background(), kind, m)
 }
 
-// GatherContext is Gather with every broker round bounded by ctx: a
-// cancelled zone gather stops soliciting further brokers and reports the
-// cancellation instead of a partial merge.
+// GatherContext is Gather with every broker round bounded by ctx, and
+// with graceful degradation: a broker whose round fails outright no
+// longer aborts the zone — its budget share is redistributed to the
+// surviving brokers (and their infra fallback) in a top-up pass, and the
+// degradation is reported in the merged result's BrokersFailed and
+// Shortfall fields. Each broker gathers with the cells already covered
+// by its predecessors excluded, so the merge is duplicate-free and
+// on-budget by construction rather than by dropping overlaps after the
+// fact. Cancellation still aborts the zone: ctx expiry is the caller's
+// decision, not a broker fault.
 func (lc *LocalCloud) GatherContext(ctx context.Context, kind sensor.Kind, m int) (*broker.GatherResult, error) {
 	if m <= 0 {
 		return nil, errors.New("cloud: budget must be positive")
@@ -135,40 +149,75 @@ func (lc *LocalCloud) GatherContext(ctx context.Context, kind sensor.Kind, m int
 	extra := m % len(lc.Brokers)
 	merged := &broker.GatherResult{}
 	seen := map[int]bool{}
+	alive := make([]*broker.Broker, 0, len(lc.Brokers))
 	for i, br := range lc.Brokers {
 		want := per
 		if i < extra {
 			want++
 		}
 		if want == 0 {
+			alive = append(alive, br)
 			continue
 		}
-		g, err := br.GatherContext(ctx, kind, want)
+		g, err := br.GatherExcludingContext(ctx, kind, want, seen)
 		if err != nil {
-			return nil, fmt.Errorf("cloud: broker %s: %w", br.ID, err)
-		}
-		for j, loc := range g.Locs {
-			if seen[loc] {
-				continue
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("cloud: broker %s: %w", br.ID, err)
 			}
-			seen[loc] = true
-			merged.Locs = append(merged.Locs, loc)
-			merged.Values = append(merged.Values, g.Values[j])
-			merged.Sigmas = append(merged.Sigmas, g.Sigmas[j])
-			if j < len(g.NodeIDs) {
-				merged.NodeIDs = append(merged.NodeIDs, g.NodeIDs[j])
-			} else {
-				merged.NodeIDs = append(merged.NodeIDs, "")
-			}
+			merged.BrokersFailed++
+			continue
 		}
-		merged.NodesUsed += g.NodesUsed
-		merged.InfraUsed += g.InfraUsed
-		merged.Denied += g.Denied
+		alive = append(alive, br)
+		mergeGather(merged, g, seen)
+	}
+	// Top-up pass: redistribute the shortfall — failed brokers' shares
+	// plus any partial (infra-outage) rounds — across the survivors.
+	for _, br := range alive {
+		if len(merged.Locs) >= m {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cloud: zone top-up abandoned: %w", err)
+		}
+		g, err := br.GatherExcludingContext(ctx, kind, m-len(merged.Locs), seen)
+		if err != nil {
+			continue // already counted alive; a failed top-up just leaves the shortfall
+		}
+		mergeGather(merged, g, seen)
 	}
 	if len(merged.Locs) == 0 {
-		return nil, errors.New("cloud: zone gather produced no measurements")
+		return nil, fmt.Errorf("cloud: zone gather produced no measurements (%d of %d brokers failed)",
+			merged.BrokersFailed, len(lc.Brokers))
 	}
+	merged.Shortfall = m - len(merged.Locs)
+	obsGatherBrokersFailedLast.Set(float64(merged.BrokersFailed))
+	obsGatherShortfallLast.Set(float64(merged.Shortfall))
+	obsGatherBrokersFailed.Add(int64(merged.BrokersFailed))
+	obsGatherShortfall.Add(int64(merged.Shortfall))
 	return merged, nil
+}
+
+// mergeGather appends one broker round to the zone merge. The exclusion
+// set passed to GatherExcludingContext makes cross-broker duplicates
+// impossible; the seen guard here only defends the invariant.
+func mergeGather(merged, g *broker.GatherResult, seen map[int]bool) {
+	for j, loc := range g.Locs {
+		if seen[loc] {
+			continue
+		}
+		seen[loc] = true
+		merged.Locs = append(merged.Locs, loc)
+		merged.Values = append(merged.Values, g.Values[j])
+		merged.Sigmas = append(merged.Sigmas, g.Sigmas[j])
+		if j < len(g.NodeIDs) {
+			merged.NodeIDs = append(merged.NodeIDs, g.NodeIDs[j])
+		} else {
+			merged.NodeIDs = append(merged.NodeIDs, "")
+		}
+	}
+	merged.NodesUsed += g.NodesUsed
+	merged.InfraUsed += g.InfraUsed
+	merged.Denied += g.Denied
 }
 
 // Reconstruct gathers m measurements across the LC's brokers and recovers
@@ -244,6 +293,14 @@ func (pc *PublicCloud) AdaptiveBudget(total int, prior *field.Field, energyFrac 
 	}
 	if minPerZone < 1 {
 		minPerZone = 1
+	}
+	// The proportional term below distributes total - minPerZone·zones on
+	// top of the per-zone floor; if the total cannot even fund the floors
+	// that term goes negative and would push zones below their minimum, so
+	// reject the plan instead of silently producing one.
+	if total < minPerZone*len(pc.LCs) {
+		return nil, fmt.Errorf("cloud: total budget %d cannot fund the %d-measurement minimum for %d zones",
+			total, minPerZone, len(pc.LCs))
 	}
 	type zinfo struct {
 		id     int

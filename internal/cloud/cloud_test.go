@@ -158,6 +158,82 @@ func TestLocalCloudGatherMergesBrokers(t *testing.T) {
 	}
 }
 
+// TestLocalCloudGatherOverlappingCoverageStaysOnBudget is the
+// regression test for the under-budget merge bug: with two brokers
+// covering the same zone, cross-broker duplicate cells used to be
+// dropped without replacement, so the merged round came in under m
+// whenever the brokers' random coverage overlapped — contradicting the
+// "keeps the total on budget" contract. The exclusion-based merge now
+// hands each broker the cells already covered, so the round is exact.
+func TestLocalCloudGatherOverlappingCoverageStaysOnBudget(t *testing.T) {
+	truth := field.GenSmoothGradient(8, 8, 20, 5, 2)
+	env, _ := NewZoneEnv(truth, field.Zone{W: 8, H: 8, Criticality: 1}, 10)
+	b1, b2 := bus.New(), bus.New()
+	defer b1.Close()
+	defer b2.Close()
+	br1, _ := broker.New(broker.Config{ID: "a", Seed: 7}, b1, env)
+	br2, _ := broker.New(broker.Config{ID: "b", Seed: 8}, b2, env)
+	lc, err := NewLocalCloud(env, br1, br2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-infra gather over 64 cells, 20 per broker: the two independent
+	// random samples overlap with near-certainty, which is exactly the
+	// case the old merge lost measurements on.
+	g, err := lc.Gather(sensor.Temperature, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Locs) != 40 {
+		t.Fatalf("merged gather %d cells, want the full budget of 40", len(g.Locs))
+	}
+	if g.Shortfall != 0 || g.BrokersFailed != 0 {
+		t.Fatalf("healthy round reported degradation: %+v", g)
+	}
+	seen := map[int]bool{}
+	for _, l := range g.Locs {
+		if seen[l] {
+			t.Fatal("merged gather contains duplicates")
+		}
+		seen[l] = true
+	}
+}
+
+// TestLocalCloudGatherDegradesOnBrokerFailure pins the degradation
+// contract: a broker that fails outright (here: regional infra outage
+// with zero reachable nodes) no longer aborts the zone; its share is
+// redistributed to the survivor and the loss is reported.
+func TestLocalCloudGatherDegradesOnBrokerFailure(t *testing.T) {
+	truth := field.GenSmoothGradient(8, 8, 20, 5, 2)
+	env, _ := NewZoneEnv(truth, field.Zone{W: 8, H: 8, Criticality: 1}, 10)
+	b1, b2 := bus.New(), bus.New()
+	defer b1.Close()
+	defer b2.Close()
+	br1, _ := broker.New(broker.Config{ID: "a", Seed: 9}, b1, env)
+	br2, _ := broker.New(broker.Config{ID: "b", Seed: 10}, b2, env)
+	br2.SetInfraEnabled(false) // no nodes either: br2's round has nothing to give
+	lc, err := NewLocalCloud(env, br1, br2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lc.Gather(sensor.Temperature, 20)
+	if err != nil {
+		t.Fatalf("zone gather must survive a failed broker: %v", err)
+	}
+	if g.BrokersFailed != 1 {
+		t.Fatalf("BrokersFailed = %d, want 1", g.BrokersFailed)
+	}
+	if len(g.Locs) != 20 || g.Shortfall != 0 {
+		t.Fatalf("survivor did not absorb the failed broker's share: %d cells, shortfall %d",
+			len(g.Locs), g.Shortfall)
+	}
+	// With every broker down the zone still fails — degradation has a floor.
+	br1.SetInfraEnabled(false)
+	if _, err := lc.Gather(sensor.Temperature, 20); err == nil {
+		t.Fatal("want error when no broker can gather anything")
+	}
+}
+
 func TestNewLocalCloudValidation(t *testing.T) {
 	if _, err := NewLocalCloud(nil); err == nil {
 		t.Fatal("want env error")
@@ -242,6 +318,28 @@ func TestAdaptiveBudgetValidation(t *testing.T) {
 	}
 	if _, err := pc.AdaptiveBudget(40, field.New(4, 4), 0.98, 4); err == nil {
 		t.Fatal("want shape error")
+	}
+}
+
+// TestAdaptiveBudgetRejectsUnderfundedTotal is the regression test for
+// the negative proportional term: with total below minPerZone·zones the
+// old code computed float64(total - minPerZone*len(infos)) < 0 and
+// produced per-zone budgets under the minimum instead of erroring.
+func TestAdaptiveBudgetRejectsUnderfundedTotal(t *testing.T) {
+	truth := field.GenSmoothGradient(16, 8, 20, 5, 2)
+	pc := buildHierarchy(t, truth, 0, 7)
+	if _, err := pc.AdaptiveBudget(5, truth, 0.98, 4); err == nil {
+		t.Fatal("want error: 5 measurements cannot fund a 4-per-zone minimum across 2 zones")
+	}
+	// The boundary case — exactly the floors — is a valid plan.
+	plan, err := pc.AdaptiveBudget(8, truth, 0.98, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, m := range plan {
+		if m < 4 {
+			t.Fatalf("zone %d got %d, below the 4-measurement minimum", id, m)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,8 @@ type SenseDroid struct {
 	busBytes   atomic.Int64
 	nodeBus    map[string]*bus.Bus
 	nodeBroker map[string]string
+	brokerBus  map[string]*bus.Bus
+	brokers    map[string]*broker.Broker
 }
 
 // busFor returns the NanoCloud bus and broker ID a node is attached to.
@@ -66,6 +69,42 @@ func (sd *SenseDroid) busFor(nodeID string) (*bus.Bus, string, bool) {
 		return nil, "", false
 	}
 	return b, sd.nodeBroker[nodeID], true
+}
+
+// BusOf returns the NanoCloud bus a broker runs on — the attachment
+// point for transport interceptors (the chaos harness routes each NC's
+// bus through a fault-injected netsim network).
+func (sd *SenseDroid) BusOf(brokerID string) (*bus.Bus, bool) {
+	b, ok := sd.brokerBus[brokerID]
+	return b, ok
+}
+
+// BrokerByID returns a broker by its hierarchical ID ("lc<z>/nc<n>").
+func (sd *SenseDroid) BrokerByID(id string) (*broker.Broker, bool) {
+	br, ok := sd.brokers[id]
+	return br, ok
+}
+
+// BrokerIDs returns every broker ID, sorted.
+func (sd *SenseDroid) BrokerIDs() []string {
+	ids := make([]string, 0, len(sd.brokers))
+	for id := range sd.brokers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NodesOf returns the node IDs registered under a broker, sorted.
+func (sd *SenseDroid) NodesOf(brokerID string) []string {
+	var ids []string
+	for nodeID, brID := range sd.nodeBroker {
+		if brID == brokerID {
+			ids = append(ids, nodeID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // New builds the full hierarchy. The initial ground truth is a zero field;
@@ -100,6 +139,8 @@ func New(opts Options) (*SenseDroid, error) {
 		Directory:  discovery.NewRegistry(24 * time.Hour),
 		nodeBus:    make(map[string]*bus.Bus),
 		nodeBroker: make(map[string]string),
+		brokerBus:  make(map[string]*bus.Bus),
+		brokers:    make(map[string]*broker.Broker),
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -162,6 +203,8 @@ func New(opts Options) (*SenseDroid, error) {
 				sd.nodeBroker[nodeID] = brID
 				sd.Nodes = append(sd.Nodes, nd)
 			}
+			sd.brokerBus[brID] = b
+			sd.brokers[brID] = br
 			brokers = append(brokers, br)
 		}
 		lc, err := cloud.NewLocalCloud(env, brokers...)
@@ -243,6 +286,8 @@ type CampaignResult struct {
 	NodesUsed     int
 	InfraUsed     int
 	Denied        int
+	BrokersFailed int // brokers lost across all zone gathers this round
+	Shortfall     int // measurements the round came in under budget
 }
 
 // RunCampaign executes one full hierarchical sensing round: budget
@@ -289,6 +334,8 @@ func (sd *SenseDroid) RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		res.NodesUsed += rep.Reconstruction.Gather.NodesUsed
 		res.InfraUsed += rep.Reconstruction.Gather.InfraUsed
 		res.Denied += rep.Reconstruction.Gather.Denied
+		res.BrokersFailed += rep.Reconstruction.Gather.BrokersFailed
+		res.Shortfall += rep.Reconstruction.Gather.Shortfall
 	}
 	obsCampaigns.Inc()
 	obsCampaignM.Add(int64(res.Measurements))

@@ -335,6 +335,7 @@ func All() []Runner {
 		{"a4", "sparse decoder comparison", func() (*Table, error) { return A4(DefaultA4()) }},
 		{"a5", "joint spatio-temporal decoding", func() (*Table, error) { return A5(DefaultA5()) }},
 		{"a6", "adaptive sampling (AIMD)", func() (*Table, error) { return A6(DefaultA6()) }},
+		{"cfault", "accuracy vs injected faults", func() (*Table, error) { return CFault(DefaultCFault()) }},
 	}
 }
 

@@ -264,8 +264,8 @@ func TestA3CriticalityShiftsBudget(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("runner count %d, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("runner count %d, want 22", len(all))
 	}
 	if _, ok := ByID("fig4"); !ok {
 		t.Fatal("fig4 missing")
@@ -389,5 +389,39 @@ func TestC9SuppressionGrowsWithDensity(t *testing.T) {
 		if loss := cell(t, row[4]); loss > 285 {
 			t.Fatalf("coverage loss %v m exceeds the area diagonal", loss)
 		}
+	}
+}
+
+func TestCFaultCurveDegradesGracefully(t *testing.T) {
+	cfg := DefaultCFault()
+	tb, err := CFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(cfg.Losses)+1 {
+		t.Fatalf("rows %d, want %d severity levels", len(tb.Rows), len(cfg.Losses)+1)
+	}
+	base := cell(t, tb.Rows[0][1])
+	for i, row := range tb.Rows {
+		nmse := cell(t, row[1])
+		if nmse > 2.5*base {
+			t.Fatalf("level %s NMSE %v exceeds 2.5x fault-free %v", row[0], nmse, base)
+		}
+		if cell(t, row[2]) == 0 {
+			t.Fatalf("level %s gathered nothing", row[0])
+		}
+		// Faulted levels drop traffic; the fault-free one drops none.
+		dropped := cell(t, row[7])
+		if i == 0 && dropped != 0 {
+			t.Fatalf("fault-free level dropped %v messages", dropped)
+		}
+		if i > 0 && dropped == 0 {
+			t.Fatalf("level %s dropped no traffic", row[0])
+		}
+	}
+	// The worst case (partition) reports the lost broker.
+	last := tb.Rows[len(tb.Rows)-1]
+	if cell(t, last[5]) != 1 {
+		t.Fatalf("partition level failed brokers %v, want 1", last[5])
 	}
 }

@@ -54,6 +54,7 @@ const ModulePrefix = "repro/"
 // caller's cancellation — ctxflow points at the variant instead.
 var CtxBlocking = map[string]string{
 	"repro/internal/bus.Request":                   "bus.RequestContext",
+	"repro/internal/bus.RequestRetry":              "bus.RequestRetryContext",
 	"repro/internal/bus.Respond":                   "bus.RespondContext",
 	"(*repro/internal/broker.Broker).Gather":       "Broker.GatherContext",
 	"(*repro/internal/cloud.LocalCloud).Gather":    "LocalCloud.GatherContext",

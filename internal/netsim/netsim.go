@@ -62,6 +62,10 @@ type Network struct {
 	stats    map[string]*Stats  // guarded by mu
 	defLink  Link               // guarded by mu
 	simTime  float64            // guarded by mu; accumulated virtual latency across delivered messages
+	msgCount int                // guarded by mu; transmission attempts so far (fault-plan clock)
+	plan     *FaultPlan         // guarded by mu; nil = no faults
+	async    bool               // guarded by mu; queue deliveries until Flush
+	queue    []Message          // guarded by mu; pending async deliveries
 }
 
 // ErrUnknownNode reports a send to an unregistered node.
@@ -104,35 +108,116 @@ func (n *Network) SetLink(from, to string, l Link) {
 	n.mu.Unlock()
 }
 
-// Send delivers a message, applying link loss and counting traffic. The
-// transmission is charged to the sender even if the message is lost (the
-// radio still spent the energy). Delivery is synchronous.
+// SetFaultPlan installs (or, with nil, removes) the fault plan consulted
+// on every transmission attempt. See FaultPlan for the semantics.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	n.plan = p
+	n.mu.Unlock()
+}
+
+// MsgCount returns the number of transmission attempts so far — the
+// deterministic clock that fault-plan windows are keyed on.
+func (n *Network) MsgCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgCount
+}
+
+// SetAsync toggles asynchronous delivery: when on, messages that survive
+// loss are queued instead of handled inline, and Flush delivers the
+// batch (applying the fault plan's duplicate/reorder knobs). Call Flush
+// before turning async off, or queued messages will sit until the next
+// Flush.
+func (n *Network) SetAsync(on bool) {
+	n.mu.Lock()
+	n.async = on
+	n.mu.Unlock()
+}
+
+// Pending returns the number of messages queued for async delivery.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Send delivers a message, applying the fault plan and link loss and
+// counting traffic. The transmission is charged to the sender even if
+// the message is lost (the radio still spent the energy), but NOT when
+// an error is returned: a down or unknown endpoint is detected before
+// the radio transmits, so "error ⇒ nothing charged" holds. Delivery is
+// synchronous unless SetAsync is on.
 func (n *Network) Send(msg Message) error {
+	_, err := n.Deliver(msg)
+	return err
+}
+
+// Deliver is Send exposing the delivery outcome: delivered=false with a
+// nil error means the message was transmitted (and charged) but lost in
+// flight — loss is not an error, but interceptors bridging this network
+// into a bus need to know whether to fan out. In async mode delivered
+// means "queued"; the fate of queued messages is decided at Flush.
+func (n *Network) Deliver(msg Message) (delivered bool, err error) {
 	n.mu.Lock()
 	if _, ok := n.handlers[msg.From]; !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: sender %q", ErrUnknownNode, msg.From)
+		return false, fmt.Errorf("%w: sender %q", ErrUnknownNode, msg.From)
 	}
 	h, ok := n.handlers[msg.To]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("%w: receiver %q", ErrUnknownNode, msg.To)
+		return false, fmt.Errorf("%w: receiver %q", ErrUnknownNode, msg.To)
 	}
 	link, ok := n.links[msg.From+"→"+msg.To]
 	if !ok {
 		link = n.defLink
 	}
+	idx := n.msgCount
+	n.msgCount++
 	size := len(msg.Payload)
+	skipLoss := false
+	if n.plan != nil {
+		act, downID := n.plan.verdict(msg.From, msg.To, idx, n.rng)
+		switch act {
+		case faultDown:
+			n.mu.Unlock()
+			obsFaultDown.Inc()
+			return false, &NodeDownError{ID: downID}
+		case faultPartition, faultBurst:
+			tx := n.stats[msg.From]
+			tx.TxMessages++
+			tx.TxBytes += size
+			tx.Dropped++
+			n.mu.Unlock()
+			obsTxMessages.Inc()
+			obsTxBytes.Add(int64(size))
+			obsLost.Inc()
+			if act == faultPartition {
+				obsFaultPartition.Inc()
+			} else {
+				obsFaultBurst.Inc()
+			}
+			return false, nil
+		case faultDeliverBurst:
+			skipLoss = true // the burst channel already decided delivery
+		}
+	}
 	tx := n.stats[msg.From]
 	tx.TxMessages++
 	tx.TxBytes += size
 	obsTxMessages.Inc()
 	obsTxBytes.Add(int64(size))
-	if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
+	if !skipLoss && link.LossProb > 0 && n.rng.Float64() < link.LossProb {
 		tx.Dropped++
 		n.mu.Unlock()
 		obsLost.Inc()
-		return nil // lost in transit; not an error
+		return false, nil // lost in transit; not an error
+	}
+	if n.async {
+		n.queue = append(n.queue, msg)
+		n.mu.Unlock()
+		return true, nil // accepted; rx accounting happens at Flush
 	}
 	rx := n.stats[msg.To]
 	rx.RxMessages++
@@ -145,7 +230,75 @@ func (n *Network) Send(msg Message) error {
 	if h != nil {
 		h(msg)
 	}
-	return nil
+	return true, nil
+}
+
+// Flush delivers the async queue, applying the fault plan's reorder and
+// duplicate knobs: each message may be deferred behind the rest of the
+// batch, and each delivery may be doubled. A receiver that went down
+// after the message was queued drops it (charged to the sender as
+// Dropped). Returns the number of handler deliveries performed.
+func (n *Network) Flush() int {
+	type delivery struct {
+		msg Message
+		h   Handler
+	}
+	n.mu.Lock()
+	q := n.queue
+	n.queue = nil
+	var dupP, reoP float64
+	if n.plan != nil {
+		dupP, reoP = n.plan.dupReorder()
+	}
+	if reoP > 0 && len(q) > 1 {
+		kept := make([]Message, 0, len(q))
+		var deferred []Message
+		for _, m := range q {
+			if n.rng.Float64() < reoP {
+				deferred = append(deferred, m)
+				obsFaultReorder.Inc()
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		q = append(kept, deferred...)
+	}
+	var out []delivery
+	for _, m := range q {
+		copies := 1
+		if dupP > 0 && n.rng.Float64() < dupP {
+			copies = 2
+			obsFaultDup.Inc()
+		}
+		if n.plan != nil && n.plan.nodeDown(m.To, n.msgCount) {
+			n.stats[m.From].Dropped += copies
+			obsLost.Add(int64(copies))
+			obsFaultDown.Inc()
+			continue
+		}
+		link, ok := n.links[m.From+"→"+m.To]
+		if !ok {
+			link = n.defLink
+		}
+		size := len(m.Payload)
+		rx := n.stats[m.To]
+		for c := 0; c < copies; c++ {
+			rx.RxMessages++
+			rx.RxBytes += size
+			n.simTime += link.LatencyMS
+			obsRxMessages.Inc()
+			obsRxBytes.Add(int64(size))
+			obsLatency.Observe(link.LatencyMS)
+			out = append(out, delivery{m, n.handlers[m.To]})
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range out {
+		if d.h != nil {
+			d.h(d.msg)
+		}
+	}
+	return len(out)
 }
 
 // SetDuplexLink sets both directions of a link to the same quality.
@@ -155,8 +308,13 @@ func (n *Network) SetDuplexLink(a, b string, l Link) {
 }
 
 // Broadcast sends the payload from one node to every other registered
-// node, returning how many transmissions were attempted. Loss applies per
-// receiver independently.
+// node, returning how many transmissions were attempted (and therefore
+// charged to the sender — Send charges even on loss but never on error).
+// Loss applies per receiver independently. On a mid-loop failure the
+// count of transmissions attempted before the failing one is returned
+// alongside the error, so the caller's view agrees with the sender's
+// byte/tx accounting instead of reporting zero for a partially charged
+// broadcast.
 func (n *Network) Broadcast(from, topic string, payload []byte) (int, error) {
 	n.mu.Lock()
 	if _, ok := n.handlers[from]; !ok {
@@ -171,12 +329,14 @@ func (n *Network) Broadcast(from, topic string, payload []byte) (int, error) {
 	}
 	n.mu.Unlock()
 	sort.Strings(targets) // deterministic delivery order
+	attempted := 0
 	for _, to := range targets {
 		if err := n.Send(Message{From: from, To: to, Topic: topic, Payload: payload}); err != nil {
-			return 0, err
+			return attempted, err
 		}
+		attempted++
 	}
-	return len(targets), nil
+	return attempted, nil
 }
 
 // NodeStats returns a copy of a node's counters.

@@ -28,6 +28,7 @@ var (
 	obsMeasurements  = obs.GetCounter("node.measure.count")
 	obsMeasureDenied = obs.GetCounter("node.measure.denied")
 	obsServedCmds    = obs.GetCounter("node.bus.commands")
+	obsDuplicateCmds = obs.GetCounter("node.bus.duplicates")
 	obsContextRuns   = obs.GetCounter("node.context.runs")
 )
 
@@ -250,11 +251,22 @@ func (n *Node) Detach() {
 	n.serveWG.Wait()
 }
 
+// dedupWindow bounds the per-handler duplicate-request memory: large
+// enough to cover any plausible duplicate-delivery reordering distance,
+// small enough that a long-lived node never grows it.
+const dedupWindow = 64
+
 // serve decodes request envelopes from sub and replies with fn's result.
 // It exits when the subscription's channel closes (Unsubscribe or bus
-// Close).
+// Close). A transport that duplicates deliveries (netsim's async path)
+// re-presents the same envelope; the reply-to topic is unique per
+// request, so a bounded ring of recent reply-to keys suppresses the
+// duplicate instead of measuring (and replying, and spending energy)
+// twice for one command.
 func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (any, error)) {
 	defer n.serveWG.Done()
+	seen := make(map[string]bool, dedupWindow)
+	var order []string
 	for msg := range sub.C {
 		var env struct {
 			ReplyTo string          `json:"replyTo"`
@@ -265,6 +277,19 @@ func (n *Node) serve(b *bus.Bus, sub *bus.Subscription, fn func(body []byte) (an
 		}
 		//lint:ignore errcheck energy accounting is best-effort in the command loop; an unknown radio kind only skips the charge
 		_ = n.Meter.ChargeRx(n.Radio, len(msg.Payload))
+		if env.ReplyTo != "" {
+			if seen[env.ReplyTo] {
+				// The radio already paid to hear it; don't serve it again.
+				obsDuplicateCmds.Inc()
+				continue
+			}
+			seen[env.ReplyTo] = true
+			order = append(order, env.ReplyTo)
+			if len(order) > dedupWindow {
+				delete(seen, order[0])
+				order = order[1:]
+			}
+		}
 		obsServedCmds.Inc()
 		reply, err := fn(env.Body)
 		if err != nil || env.ReplyTo == "" {

@@ -132,6 +132,45 @@ func TestBusMeasureRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeSuppressesDuplicateRequests publishes the exact same request
+// envelope twice — what netsim's async duplicate knob does to the bus —
+// and asserts the node serves it once: one reply, one measurement.
+func TestServeSuppressesDuplicateRequests(t *testing.T) {
+	n := newTestNode(t, "n0")
+	b := bus.New()
+	defer b.Close()
+	if err := n.AttachBus(b, "nc0"); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Detach()
+	reply, err := b.Subscribe("dup/reply", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := []byte(`{"replyTo":"dup/reply","body":{"kind":"temperature"}}`)
+	for i := 0; i < 2; i++ {
+		if err := b.Publish(MeasureTopic("nc0", "n0"), env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-reply.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply to the first delivery")
+	}
+	select {
+	case <-reply.C:
+		t.Fatal("duplicate delivery was served again")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// A different request (fresh reply-to) is served normally.
+	var reading FieldReading
+	if err := bus.Request(b, MeasureTopic("nc0", "n0"),
+		MeasureRequest{Kind: string(sensor.Temperature)}, &reading, 2*time.Second); err != nil {
+		t.Fatalf("fresh request after duplicates: %v", err)
+	}
+}
+
 func TestDetachStopsServing(t *testing.T) {
 	n := newTestNode(t, "n0")
 	b := bus.New()

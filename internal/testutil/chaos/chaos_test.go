@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+func chaosOpts() core.Options {
+	return core.Options{
+		FieldW: 16, FieldH: 16,
+		ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 2, NodesPerNC: 4,
+		Seed:    99,
+		Timeout: 100 * time.Millisecond,
+	}
+}
+
+func chaosTruth() *field.Field {
+	return field.GenPlumes(16, 16, 12, []field.Plume{
+		{Row: 4, Col: 4, Sigma: 2, Amplitude: 30},
+		{Row: 11, Col: 12, Sigma: 3, Amplitude: 20},
+	})
+}
+
+// scriptFaults is the reference chaos plan: a fully partitioned broker
+// whose infra is also offline (zone 0 must degrade around it), ≥10%
+// burst loss on another broker's fleet (zone 2), and a crash/restart of
+// a third broker's whole fleet for the first two message slots (zone 3)
+// that per-call retries must absorb.
+func scriptFaults(h *Harness) {
+	h.PartitionBroker("lc0/nc0", 0, 1<<30)
+	if br, ok := h.SD.BrokerByID("lc0/nc0"); ok {
+		br.SetInfraEnabled(false)
+	}
+	// ~43% of messages in the bad state at 60% loss ⇒ ~27% average loss.
+	h.BurstBroker("lc2/nc0", netsim.GilbertElliott{
+		PGoodToBad: 0.3, PBadToGood: 0.4, LossGood: 0.02, LossBad: 0.6,
+	})
+	for _, id := range h.SD.NodesOf("lc3/nc1") {
+		h.Plan("lc3/nc1").Crash(id, 0, 2)
+	}
+}
+
+// runChaosCampaign deploys the hierarchy behind fault-injected networks,
+// applies the script (nil for a fault-free baseline), and runs one
+// uniform campaign.
+func runChaosCampaign(t *testing.T, script func(*Harness)) (*core.CampaignResult, netsim.Stats) {
+	t.Helper()
+	h, err := New(chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.SD.SetTruth(chaosTruth()); err != nil {
+		t.Fatal(err)
+	}
+	if script != nil {
+		script(h)
+	}
+	res, err := h.SD.RunCampaign(core.CampaignConfig{TotalM: 100})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return res, h.Totals()
+}
+
+// TestChaosCampaignSurvivesFaultPlan is the end-to-end resilience check:
+// under a scripted partition + infra outage, burst loss, and fleet
+// crash/restart, a full hierarchical campaign completes, reports the
+// lost broker, and reconstructs within 2× of the fault-free NMSE.
+func TestChaosCampaignSurvivesFaultPlan(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	obs.Enable()
+	defer obs.Disable()
+	recovered0 := obs.GetCounter("bus.retry.recovered").Value()
+	parts0 := obs.GetCounter("netsim.fault.partitioned").Value()
+	burst0 := obs.GetCounter("netsim.fault.burst_lost").Value()
+	down0 := obs.GetCounter("netsim.fault.down").Value()
+
+	base, baseStats := runChaosCampaign(t, nil)
+	if base.BrokersFailed != 0 || base.Shortfall != 0 {
+		t.Fatalf("fault-free run reports faults: %+v", base)
+	}
+	if baseStats.Dropped != 0 {
+		t.Fatalf("fault-free run dropped %d messages", baseStats.Dropped)
+	}
+
+	res, stats := runChaosCampaign(t, scriptFaults)
+	if res.BrokersFailed != 1 {
+		t.Fatalf("brokers failed %d, want 1 (the partitioned one)", res.BrokersFailed)
+	}
+	if res.Measurements == 0 || res.NodesUsed == 0 {
+		t.Fatalf("degraded campaign gathered nothing: %+v", res)
+	}
+	if res.GlobalNMSE > 2*base.GlobalNMSE {
+		t.Fatalf("faulted NMSE %v exceeds 2x fault-free %v", res.GlobalNMSE, base.GlobalNMSE)
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("fault plan dropped no traffic")
+	}
+	// Each faulted mechanism left its fingerprint where it was scripted.
+	if d := obs.GetCounter("netsim.fault.partitioned").Value() - parts0; d == 0 {
+		t.Fatal("no partition drops recorded")
+	}
+	if d := obs.GetCounter("netsim.fault.burst_lost").Value() - burst0; d == 0 {
+		t.Fatal("no burst-loss drops recorded")
+	}
+	if d := obs.GetCounter("netsim.fault.down").Value() - down0; d == 0 {
+		t.Fatal("no crash rejections recorded")
+	}
+	if d := obs.GetCounter("bus.retry.recovered").Value() - recovered0; d == 0 {
+		t.Fatal("no request recovered via retry; crash/restart was not absorbed")
+	}
+	if h := stats; h.TxMessages == 0 || h.RxMessages == 0 {
+		t.Fatalf("traffic accounting empty: %+v", h)
+	}
+}
+
+// TestChaosDeterministicAcrossGOMAXPROCS pins the faulted campaign's
+// full reconstruction to the seed: zone fan-out runs on separate
+// per-broker networks, so scheduling must not change a single float.
+func TestChaosDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *core.CampaignResult {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, _ := runChaosCampaign(t, scriptFaults)
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial.Measurements != parallel.Measurements ||
+		serial.BrokersFailed != parallel.BrokersFailed ||
+		serial.Shortfall != parallel.Shortfall {
+		t.Fatalf("campaign accounting differs: serial %+v vs parallel %+v", serial, parallel)
+	}
+	if serial.GlobalNMSE != parallel.GlobalNMSE {
+		t.Fatalf("NMSE differs: %v vs %v", serial.GlobalNMSE, parallel.GlobalNMSE)
+	}
+	for i, v := range serial.Reconstructed.Data {
+		if parallel.Reconstructed.Data[i] != v {
+			t.Fatalf("reconstruction differs at cell %d: %v vs %v", i, v, parallel.Reconstructed.Data[i])
+		}
+	}
+}
+
+// TestHarnessWiring covers the harness surface: per-broker networks and
+// plans exist, unknown IDs are inert, and Totals sums per-network stats.
+func TestHarnessWiring(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	h, err := New(chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ids := h.SD.BrokerIDs()
+	if len(ids) != 8 {
+		t.Fatalf("brokers %d, want 8", len(ids))
+	}
+	for _, id := range ids {
+		if h.Plan(id) == nil || h.Network(id) == nil {
+			t.Fatalf("broker %s missing plan or network", id)
+		}
+	}
+	if h.Plan("nope") != nil || h.Network("nope") != nil {
+		t.Fatal("unknown broker should have no plan/network")
+	}
+	// Unknown IDs are no-ops, not panics.
+	h.PartitionBroker("nope", 0, 10)
+	h.BurstBroker("nope", netsim.GilbertElliott{})
+	if err := h.SD.SetTruth(chaosTruth()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.SD.RunCampaign(core.CampaignConfig{TotalM: 64}); err != nil {
+		t.Fatal(err)
+	}
+	var want netsim.Stats
+	for _, id := range ids {
+		s := h.Network(id).Totals()
+		want.TxMessages += s.TxMessages
+		want.RxMessages += s.RxMessages
+		want.TxBytes += s.TxBytes
+		want.RxBytes += s.RxBytes
+		want.Dropped += s.Dropped
+	}
+	if got := h.Totals(); got != want {
+		t.Fatalf("Totals %+v, want per-network sum %+v", got, want)
+	}
+	if got := h.Totals(); got.TxMessages == 0 || got.RxMessages == 0 {
+		t.Fatalf("campaign traffic not routed through the networks: %+v", got)
+	}
+}

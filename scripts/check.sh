@@ -51,6 +51,14 @@ go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 3s ./internal/lint
 echo "== go test -race =="
 GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
 
+echo "== chaos (fault injection) =="
+# The end-to-end resilience gate: a full hierarchy campaign under a
+# scripted partition + infra outage, burst loss, and crash/restart must
+# complete, degrade within bounds, and replay identically across
+# schedules. -count=1 defeats test caching so the run above never
+# satisfies this gate by cache hit.
+GOMAXPROCS="${GOMAXPROCS:-4}" go test -race -count=1 -run Chaos ./internal/testutil/chaos/
+
 echo "== obs overhead guard =="
 # The disabled instrumentation path must stay free: if a counter op on a
 # disabled registry ever allocates, or drifts past 10 ns/op, the whole
