@@ -7,9 +7,13 @@ package sensedroid
 // full-scale series are produced by `go run ./cmd/experiments all`.
 
 import (
+	"math/rand"
 	"testing"
 
+	"repro/internal/basis"
+	"repro/internal/cs"
 	"repro/internal/experiments"
+	"repro/internal/field"
 )
 
 func benchTable(b *testing.B, run func() (*experiments.Table, error)) {
@@ -149,4 +153,80 @@ func BenchmarkC8Coverage(b *testing.B) {
 func BenchmarkC9Opportunistic(b *testing.B) {
 	cfg := experiments.C9Config{AreaM: 200, Radius: 20, Rounds: 5, Crowds: []int{60}, Seed: 29}
 	benchTable(b, func() (*experiments.Table, error) { return experiments.C9(cfg) })
+}
+
+// --- 2-D field decode: dense reference vs matrix-free operators -------------
+
+// gridProblem builds one deterministic w×h plume-field decode problem.
+func gridProblem(b *testing.B, w, h, m int) (*field.Field, []int, []float64) {
+	b.Helper()
+	truth := field.GenPlumes(w, h, 10, []field.Plume{
+		{Row: 0.3 * float64(h), Col: 0.6 * float64(w), Sigma: float64(w) / 12, Amplitude: 30},
+		{Row: 0.7 * float64(h), Col: 0.2 * float64(w), Sigma: float64(w) / 16, Amplitude: 18},
+	})
+	rng := rand.New(rand.NewSource(77))
+	locs, err := cs.RandomLocations(rng, truth.N(), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := cs.Measure(truth.Vector(), locs, rng, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return truth, locs, y
+}
+
+// BenchmarkDecode64GridDense decodes a 64×64 field through the dense
+// 4096×4096 Kronecker DCT matrix — the pre-operator reference path.
+func BenchmarkDecode64GridDense(b *testing.B) {
+	truth, locs, y := gridProblem(b, 64, 64, 400)
+	phi, err := truth.Basis2D(basis.KindDCT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cs.CHSOptions{MaxSupport: 32, PerIter: 2, Tol: 1e-6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.CHS(phi, locs, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode64GridOperator decodes the identical 64×64 problem
+// through the separable fast-DCT operator (DESIGN.md §9).
+func BenchmarkDecode64GridOperator(b *testing.B) {
+	truth, locs, y := gridProblem(b, 64, 64, 400)
+	op, err := truth.Operator2D(basis.KindDCT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cs.CHSOptions{MaxSupport: 32, PerIter: 2, Tol: 1e-6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.CHSOp(op, locs, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode1024Grid decodes a 1024×1024 field (n = 2^20). The dense
+// sensing matrix for this grid would need ~8 TB; it exists only on the
+// operator path. Run with -benchtime=1x — one decode is the datum.
+func BenchmarkDecode1024Grid(b *testing.B) {
+	truth, locs, y := gridProblem(b, 1024, 1024, 3000)
+	op, err := truth.Operator2D(basis.KindDCT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := cs.CHSOptions{MaxSupport: 16, PerIter: 4, Tol: 1e-6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.CHSOp(op, locs, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

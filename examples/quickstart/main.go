@@ -70,7 +70,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe, err := contextproc.NewPipeline(basis.DFT(256), 30, 8)
+	dft, err := basis.CachedOperator(basis.KindDFT, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := contextproc.NewPipeline(dft, 30, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

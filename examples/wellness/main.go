@@ -43,7 +43,11 @@ func main() {
 		{"carol", sensor.MotionIdle, sensor.AlternatingSchedule(0)},           // at a desk
 		{"dave", sensor.MotionWalking, func(t float64) bool { return false }}, // walking too
 	}
-	pipe, err := contextproc.NewPipeline(basis.DFT(256), 30, 8)
+	dft, err := basis.CachedOperator(basis.KindDFT, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := contextproc.NewPipeline(dft, 30, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

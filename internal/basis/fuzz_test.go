@@ -1,0 +1,74 @@
+package basis
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzOperatorRoundTrip feeds the matrix-free operators adversarial sizes
+// and values. The contract under test: OperatorFor either errors or returns
+// an operator whose analyze/synthesize pair round-trips finite input (the
+// orthonormality property the decoders rely on), with no panics for any
+// byte pattern.
+func FuzzOperatorRoundTrip(f *testing.F) {
+	f.Add([]byte("\x01\x03abcdefgh12345678"))
+	f.Add([]byte("\x02\x08" +
+		"\x00\x00\x00\x00\x00\x00\xf0\x7f" + // +Inf
+		"\xff\xff\xff\xff\xff\xff\xff\xff" + // NaN
+		"\x01\x00\x00\x00\x00\x00\x00\x00")) // denormal
+	f.Add([]byte("\x03\x00"))             // Haar at n=1
+	f.Add([]byte("\x00\x0dZZZZZZZZZZZZ")) // identity, non-dyadic size
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		kinds := []Kind{KindIdentity, KindDCT, KindDFT, KindHaar, KindLearned, Kind("bogus")}
+		kind := kinds[int(data[0])%len(kinds)]
+		// Sizes 1..64: powers of two exercise the fast paths, the rest the
+		// dense fallback and the Haar/learned rejection paths.
+		n := 1 + int(data[1])%64
+		data = data[2:]
+		op, err := OperatorFor(kind, n)
+		if err != nil {
+			return
+		}
+		if op.Dim() != n {
+			t.Fatalf("%s/%d: Dim() = %d", kind, n, op.Dim())
+		}
+		x := make([]float64, n)
+		finite := true
+		for i := range x {
+			if len(data) >= 8 {
+				x[i] = math.Float64frombits(binary.LittleEndian.Uint64(data))
+				data = data[8:]
+			} else if len(data) > 0 {
+				x[i] = float64(int8(data[0]))
+				data = data[1:]
+			}
+			// Huge magnitudes legitimately overflow to Inf inside the
+			// transform; bound the round-trip check to tame inputs.
+			if math.IsNaN(x[i]) || math.Abs(x[i]) > 1e12 {
+				finite = false
+			}
+		}
+		mid := make([]float64, n)
+		back := make([]float64, n)
+		op.Apply(mid, x)
+		op.ApplyTranspose(back, mid)
+		if !finite {
+			return
+		}
+		scale := 1.0
+		for i := range x {
+			if v := math.Abs(x[i]); v > scale {
+				scale = v
+			}
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-6*scale {
+				t.Fatalf("%s/%d: round-trip [%d] %v -> %v (scale %v)", kind, n, i, x[i], back[i], scale)
+			}
+		}
+	})
+}

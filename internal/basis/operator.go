@@ -1,0 +1,845 @@
+package basis
+
+// Matrix-free basis operators. The dense constructors in basis.go
+// materialize Φ as an explicit n×n matrix, so every decoder iteration pays
+// O(n²) (and the 2-D Kronecker bases square that). An Operator exposes the
+// same linear map through Apply/ApplyTranspose at O(n log n) — DCT-II/III
+// and the real-embedded DFT ride a shared radix-2 FFT core (internal/fft),
+// Haar runs the O(n) lifting cascade, and Separable2D applies a 2-D basis
+// through its row/column factors without ever forming the Kronecker
+// product. The dense matrices remain the reference implementation: the
+// OperatorFor factory falls back to a matrix-backed operator for sizes or
+// kinds the fast paths cannot serve (non-power-of-two DCT/DFT, learned
+// bases), and the property tests pin every fast path to its dense
+// counterpart within 1e-9.
+//
+// Determinism: operators never spawn goroutines, the FFT butterfly order is
+// a fixed function of n, and scratch buffers are fully overwritten before
+// use — a given input produces bit-identical output on every call at every
+// GOMAXPROCS. Operators are immutable after construction and safe for
+// concurrent use; per-call scratch comes from an internal sync.Pool.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/mat"
+)
+
+// Operator is a matrix-free orthonormal basis Φ of dimension n×n. Apply is
+// synthesis (x = Φα, paper Eq. 2), ApplyTranspose is analysis (α = Φᵀx; the
+// transpose is the inverse for orthonormal Φ). dst and src must both have
+// length Dim() and must not alias. ApplyAll/ApplyTransposeAll are the
+// batched multi-RHS forms: each ROW of src is one vector, transformed into
+// the corresponding row of dst.
+type Operator interface {
+	Dim() int
+	Apply(dst, src []float64)
+	ApplyTranspose(dst, src []float64)
+	ApplyAll(dst, src *mat.Matrix) error
+	ApplyTransposeAll(dst, src *mat.Matrix) error
+}
+
+// ErrNoOperator reports a (kind, n) pair with no operator implementation.
+var ErrNoOperator = errors.New("basis: no operator for kind")
+
+// RowAccessor is an optional Operator refinement for producing a single
+// row Φ[i,·] directly, in O(n), instead of the O(n log n) analysis Φᵀe_i.
+// dst must have length Dim(). The decoders use it for their column-norm
+// scans, which would otherwise cost one full transform per measurement.
+// Closed-form rows (trig recurrences) may differ from the FFT transform
+// path by a few ulps — well inside the documented 1e-9 dense-equivalence
+// bound, and pinned to it by the operator property tests.
+type RowAccessor interface {
+	RowInto(dst []float64, i int)
+}
+
+// EntryAccessor is an optional Operator refinement for reading one matrix
+// entry Φ[i,j] in O(1). The decoders use it to gather a dictionary column
+// restricted to the m sampled rows in O(m) — against O(n log n) for the
+// synthesize-and-gather fallback — when admitting atoms to the support.
+// Same precision contract as RowAccessor.
+type EntryAccessor interface {
+	Entry(i, j int) float64
+}
+
+// OperatorFor returns the matrix-free operator for the given basis family
+// and size. DCT/DFT get the FFT fast path when n is a power of two and fall
+// back to the memoized dense matrix otherwise; Haar (power-of-two only, as
+// with New) always uses the O(n) lifting cascade; Identity is free. Learned
+// bases have no (kind, n) identity — wrap the learned matrix with
+// FromMatrix instead.
+func OperatorFor(kind Kind, n int) (Operator, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative size %d", ErrBadSize, n)
+	}
+	switch kind {
+	case KindIdentity:
+		return &identityOp{n: n}, nil
+	case KindDCT:
+		if fft.IsPow2(n) {
+			return newDCTOp(n)
+		}
+		return denseFallback(kind, n)
+	case KindDFT:
+		if fft.IsPow2(n) {
+			return newDFTOp(n)
+		}
+		return denseFallback(kind, n)
+	case KindHaar:
+		if !fft.IsPow2(n) {
+			return nil, fmt.Errorf("%w: Haar needs power-of-two size, got %d", ErrBadSize, n)
+		}
+		return newHaarOp(n), nil
+	case KindLearned:
+		return nil, fmt.Errorf("%w %q: learned bases need traces, wrap with FromMatrix", ErrNoOperator, kind)
+	default:
+		return nil, fmt.Errorf("%w %q", ErrNoOperator, kind)
+	}
+}
+
+func denseFallback(kind Kind, n int) (Operator, error) {
+	m, err := Cached(kind, n)
+	if err != nil {
+		return nil, err
+	}
+	return FromMatrix(m)
+}
+
+func checkLens(n int, dst, src []float64) {
+	if len(dst) != n || len(src) != n {
+		panic(fmt.Sprintf("basis: operator buffers %d/%d, want %d", len(dst), len(src), n))
+	}
+}
+
+// applyRows runs op row by row over the rows of src/dst — the shared
+// implementation behind the batched ApplyAll/ApplyTransposeAll forms.
+func applyRows(op Operator, dst, src *mat.Matrix, transpose bool) error {
+	n := op.Dim()
+	if src.Cols != n || dst.Cols != n || src.Rows != dst.Rows {
+		return fmt.Errorf("%w: batch (%dx%d)->(%dx%d) for operator dim %d",
+			mat.ErrShape, src.Rows, src.Cols, dst.Rows, dst.Cols, n)
+	}
+	for r := 0; r < src.Rows; r++ {
+		d := dst.Data[r*n : (r+1)*n]
+		s := src.Data[r*n : (r+1)*n]
+		if transpose {
+			op.ApplyTranspose(d, s)
+		} else {
+			op.Apply(d, s)
+		}
+	}
+	return nil
+}
+
+// --- identity -----------------------------------------------------------------
+
+type identityOp struct{ n int }
+
+func (o *identityOp) Dim() int { return o.n }
+func (o *identityOp) Apply(dst, src []float64) {
+	checkLens(o.n, dst, src)
+	copy(dst, src)
+}
+func (o *identityOp) ApplyTranspose(dst, src []float64) { o.Apply(dst, src) }
+func (o *identityOp) RowInto(dst []float64, i int) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	dst[i] = 1
+}
+
+func (o *identityOp) Entry(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return 0
+}
+func (o *identityOp) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *identityOp) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// --- dense reference wrapper ---------------------------------------------------
+
+// MatrixOp adapts an explicit (square) basis matrix to the Operator
+// interface — the reference path for learned bases and non-power-of-two
+// sizes. The decoders recognize it and run their dense kernels directly.
+type MatrixOp struct {
+	m *mat.Matrix
+}
+
+// FromMatrix wraps a square basis matrix as an Operator. The matrix is
+// shared, not copied: callers must treat it as read-only.
+func FromMatrix(m *mat.Matrix) (*MatrixOp, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: operator needs square basis, got %dx%d", mat.ErrShape, m.Rows, m.Cols)
+	}
+	return &MatrixOp{m: m}, nil
+}
+
+// Matrix returns the wrapped dense basis.
+func (o *MatrixOp) Matrix() *mat.Matrix { return o.m }
+
+// RowInto copies row i of the wrapped matrix.
+func (o *MatrixOp) RowInto(dst []float64, i int) {
+	copy(dst, o.m.Data[i*o.m.Cols:(i+1)*o.m.Cols])
+}
+
+// Entry reads Φ[i,j] from the wrapped matrix.
+func (o *MatrixOp) Entry(i, j int) float64 {
+	return o.m.Data[i*o.m.Cols+j]
+}
+
+func (o *MatrixOp) Dim() int { return o.m.Cols }
+func (o *MatrixOp) Apply(dst, src []float64) {
+	if err := mat.MulVecInto(dst, o.m, src); err != nil {
+		panic(err)
+	}
+}
+func (o *MatrixOp) ApplyTranspose(dst, src []float64) {
+	if err := mat.MulTVecInto(dst, o.m, src); err != nil {
+		panic(err)
+	}
+}
+func (o *MatrixOp) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *MatrixOp) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// --- DCT (FFT fast path) -------------------------------------------------------
+
+// dctOp computes the orthonormal DCT-II basis of basis.DCT matrix-free via
+// Makhoul's n-point FFT method: ApplyTranspose is the DCT-II analysis
+// (even/odd permutation, FFT, half-sample twiddle), Apply inverts the same
+// pipeline (DCT-III synthesis).
+type dctOp struct {
+	n     int
+	plan  *fft.Plan
+	cosT  []float64 // cos(πk/2n)
+	sinT  []float64 // sin(πk/2n)
+	scale []float64 // s(0)=√(1/n), s(k>0)=√(2/n)
+	tab   []float64 // full twiddle period: tab[t] = cos(πt/2n), t < 4n
+	pool  sync.Pool
+}
+
+// rowTableLimit bounds the closed-form row/entry twiddle tables. The DCT
+// table carries one full period (4n values), so n ≤ 8192 keeps it at
+// 256 KB; beyond that RowInto falls back to recurrence chains and Entry
+// to direct trig.
+const rowTableLimit = 8192
+
+type complexScratch struct{ re, im []float64 }
+
+func newComplexPool(n int) sync.Pool {
+	return sync.Pool{New: func() any {
+		return &complexScratch{re: make([]float64, n), im: make([]float64, n)}
+	}}
+}
+
+func newDCTOp(n int) (*dctOp, error) {
+	plan, err := fft.PlanFor(n)
+	if err != nil {
+		return nil, err
+	}
+	o := &dctOp{
+		n: n, plan: plan,
+		cosT:  make([]float64, n),
+		sinT:  make([]float64, n),
+		scale: make([]float64, n),
+		pool:  newComplexPool(n),
+	}
+	for k := 0; k < n; k++ {
+		s, c := math.Sincos(math.Pi * float64(k) / (2 * float64(n)))
+		o.cosT[k] = c
+		o.sinT[k] = s
+		o.scale[k] = math.Sqrt(2 / float64(n))
+	}
+	if n > 0 {
+		o.scale[0] = math.Sqrt(1 / float64(n))
+	}
+	if n <= rowTableLimit {
+		o.tab = make([]float64, 4*n)
+		for t := range o.tab {
+			o.tab[t] = math.Cos(math.Pi * float64(t) / (2 * float64(n)))
+		}
+	}
+	return o, nil
+}
+
+func (o *dctOp) Dim() int { return o.n }
+
+// ApplyTranspose computes α = Φᵀx, the orthonormal DCT-II of x.
+func (o *dctOp) ApplyTranspose(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sc := o.pool.Get().(*complexScratch)
+	re, im := sc.re, sc.im
+	// Makhoul permutation: evens ascending, odds descending.
+	for i := 0; i < n/2; i++ {
+		re[i] = src[2*i]
+		re[n-1-i] = src[2*i+1]
+	}
+	for i := range im {
+		im[i] = 0
+	}
+	o.plan.Forward(re, im)
+	// X2[k] = Re(e^{-jπk/2n}·V[k]); α[k] = s(k)·X2[k].
+	for k := 0; k < n; k++ {
+		dst[k] = o.scale[k] * (o.cosT[k]*re[k] + o.sinT[k]*im[k])
+	}
+	o.pool.Put(sc)
+}
+
+// Apply computes x = Φα, the orthonormal DCT-III inverse of ApplyTranspose.
+func (o *dctOp) Apply(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sc := o.pool.Get().(*complexScratch)
+	re, im := sc.re, sc.im
+	// Rebuild V[k] = e^{jπk/2n}·(X2[k] − j·X2[n−k]) from the unscaled
+	// coefficients, exploiting the conjugate symmetry of the real signal.
+	re[0] = src[0] / o.scale[0]
+	im[0] = 0
+	for k := 1; k < n; k++ {
+		zre := src[k] / o.scale[k]
+		zim := -src[n-k] / o.scale[n-k]
+		re[k] = o.cosT[k]*zre - o.sinT[k]*zim
+		im[k] = o.cosT[k]*zim + o.sinT[k]*zre
+	}
+	o.plan.Inverse(re, im)
+	// Undo the even/odd permutation.
+	for i := 0; i < n/2; i++ {
+		dst[2*i] = re[i]
+		dst[2*i+1] = re[n-1-i]
+	}
+	o.pool.Put(sc)
+}
+
+func (o *dctOp) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *dctOp) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// RowInto fills dst with row i of Φ in closed form: Φ[i,k] =
+// s(k)·cos((2i+1)πk/2n). The cosine argument advances by a fixed step of
+// the table period — k(2i+1) mod 4n — so with the precomputed twiddle
+// table each entry is one lookup and one multiply, exact to the table's
+// own cos calls. Above rowTableLimit, entries are generated by the
+// stride-4 Chebyshev recurrence cos((k+4)θ) = 2cos(4θ)·cos(kθ) −
+// cos((k−4)θ): a stride-1 chain is latency-bound on its multiply-add
+// dependency, while four interleaved chains keep the FPU pipeline full —
+// this is the inner loop of the decoders' column-norm scan, one row per
+// measurement.
+func (o *dctOp) RowInto(dst []float64, i int) {
+	n := o.n
+	dst[0] = o.scale[0]
+	if n == 1 {
+		return
+	}
+	if o.tab != nil {
+		period := 4 * n
+		step := (2*i + 1) % period
+		t := step
+		for k := 1; k < n; k++ {
+			dst[k] = o.scale[k] * o.tab[t]
+			t += step
+			if t >= period {
+				t -= period
+			}
+		}
+		return
+	}
+	x := (2*float64(i) + 1) * math.Pi / (2 * float64(n))
+	// One trig call per row: cos(kx) for k < 8 follows from cos(x) by the
+	// stride-1 recurrence, and those eight values seed the chains.
+	c1 := math.Cos(x)
+	var w [8]float64
+	w[0], w[1] = 1, c1
+	t := 2 * c1
+	for k := 2; k < 8; k++ {
+		w[k] = t*w[k-1] - w[k-2]
+	}
+	lim := n
+	if lim > 8 {
+		lim = 8
+	}
+	for k := 1; k < lim; k++ {
+		dst[k] = o.scale[k] * w[k]
+	}
+	if n <= 8 {
+		return
+	}
+	c4 := 2 * w[4]
+	e0, e1, e2, e3 := w[0], w[1], w[2], w[3]
+	f0, f1, f2, f3 := w[4], w[5], w[6], w[7]
+	for k := 8; k+3 < n; k += 4 {
+		g0 := c4*f0 - e0
+		g1 := c4*f1 - e1
+		g2 := c4*f2 - e2
+		g3 := c4*f3 - e3
+		dst[k] = o.scale[k] * g0
+		dst[k+1] = o.scale[k+1] * g1
+		dst[k+2] = o.scale[k+2] * g2
+		dst[k+3] = o.scale[k+3] * g3
+		e0, e1, e2, e3 = f0, f1, f2, f3
+		f0, f1, f2, f3 = g0, g1, g2, g3
+	}
+}
+
+// Entry evaluates Φ[i,j] = s(j)·cos((2i+1)πj/2n) — a table lookup when
+// the twiddle table exists, direct trig otherwise.
+func (o *dctOp) Entry(i, j int) float64 {
+	if o.tab != nil {
+		return o.scale[j] * o.tab[j*(2*i+1)%(4*o.n)]
+	}
+	return o.scale[j] * math.Cos(float64(j)*(2*float64(i)+1)*math.Pi/(2*float64(o.n)))
+}
+
+// --- DFT (FFT fast path) -------------------------------------------------------
+
+// dftOp computes the real-embedded Fourier basis of basis.DFT matrix-free:
+// the real coefficient layout [const, cos f, sin f, …, Nyquist] is packed
+// from (un-packed into) the conjugate-symmetric complex spectrum of one
+// n-point FFT.
+type dftOp struct {
+	n      int
+	plan   *fft.Plan
+	c0     float64   // √(1/n)
+	amp    float64   // √(2/n)
+	cosTab []float64 // cos(2πt/n), t < n — row/entry twiddles
+	sinTab []float64 // sin(2πt/n), t < n
+	pool   sync.Pool
+}
+
+func newDFTOp(n int) (*dftOp, error) {
+	plan, err := fft.PlanFor(n)
+	if err != nil {
+		return nil, err
+	}
+	o := &dftOp{
+		n: n, plan: plan,
+		c0:   math.Sqrt(1 / float64(n)),
+		amp:  math.Sqrt(2 / float64(n)),
+		pool: newComplexPool(n),
+	}
+	if n <= rowTableLimit {
+		o.cosTab = make([]float64, n)
+		o.sinTab = make([]float64, n)
+		for t := 0; t < n; t++ {
+			o.sinTab[t], o.cosTab[t] = math.Sincos(2 * math.Pi * float64(t) / float64(n))
+		}
+	}
+	return o, nil
+}
+
+func (o *dftOp) Dim() int { return o.n }
+
+// ApplyTranspose computes α = Φᵀx: one forward FFT, then the paired
+// cosine/sine columns read off the real and imaginary spectrum parts.
+func (o *dftOp) ApplyTranspose(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sc := o.pool.Get().(*complexScratch)
+	re, im := sc.re, sc.im
+	copy(re, src)
+	for i := range im {
+		im[i] = 0
+	}
+	o.plan.Forward(re, im)
+	dst[0] = o.c0 * re[0]
+	for f := 1; f < n/2; f++ {
+		dst[2*f-1] = o.amp * re[f]
+		dst[2*f] = -o.amp * im[f]
+	}
+	dst[n-1] = o.c0 * re[n/2] // Nyquist alternating mode
+	o.pool.Put(sc)
+}
+
+// Apply computes x = Φα: the coefficients are packed into a
+// conjugate-symmetric spectrum and inverted with one inverse FFT.
+func (o *dftOp) Apply(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sc := o.pool.Get().(*complexScratch)
+	re, im := sc.re, sc.im
+	re[0] = float64(n) * o.c0 * src[0]
+	im[0] = 0
+	half := float64(n) / 2
+	for f := 1; f < n/2; f++ {
+		re[f] = half * o.amp * src[2*f-1]
+		im[f] = -half * o.amp * src[2*f]
+		re[n-f] = re[f]
+		im[n-f] = -im[f]
+	}
+	re[n/2] = float64(n) * o.c0 * src[n-1]
+	im[n/2] = 0
+	o.plan.Inverse(re, im)
+	copy(dst, re)
+	o.pool.Put(sc)
+}
+
+func (o *dftOp) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *dftOp) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// RowInto fills dst with row i of Φ in closed form — Φ[i,0] = √(1/n),
+// Φ[i,2f−1] = √(2/n)·cos(2πfi/n), Φ[i,2f] = √(2/n)·sin(2πfi/n),
+// Φ[i,n−1] = √(1/n)·(−1)^i. Four interleaved rotation chains advance by
+// 4φ per step (φ = 2πi/n) so the loop is throughput- rather than
+// latency-bound; see the matching note on (*dctOp).RowInto.
+func (o *dftOp) RowInto(dst []float64, i int) {
+	n := o.n
+	dst[0] = o.c0
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	if o.cosTab != nil {
+		// Table path: frequency f at row i reads twiddle f·i mod n, so
+		// the index advances by a fixed step per frequency.
+		step := i % n
+		t := step
+		for f := 1; f < half; f++ {
+			dst[2*f-1] = o.amp * o.cosTab[t]
+			dst[2*f] = o.amp * o.sinTab[t]
+			t += step
+			if t >= n {
+				t -= n
+			}
+		}
+		if i%2 == 0 {
+			dst[n-1] = o.c0
+		} else {
+			dst[n-1] = -o.c0
+		}
+		return
+	}
+	phi := 2 * math.Pi * float64(i) / float64(n)
+	// One trig call per row: higher harmonics follow from (cos φ, sin φ)
+	// by angle addition, seeding four chains that each advance by 4φ.
+	s1, c1 := math.Sincos(phi)
+	cA, sA := c1, s1
+	cB, sB := c1*c1-s1*s1, s1*c1+c1*s1
+	cC, sC := cB*c1-sB*s1, sB*c1+cB*s1
+	cD, sD := cC*c1-sC*s1, sC*c1+cC*s1
+	c4, s4 := cD, sD
+	f := 1
+	for ; f+3 < half; f += 4 {
+		dst[2*f-1] = o.amp * cA
+		dst[2*f] = o.amp * sA
+		dst[2*f+1] = o.amp * cB
+		dst[2*f+2] = o.amp * sB
+		dst[2*f+3] = o.amp * cC
+		dst[2*f+4] = o.amp * sC
+		dst[2*f+5] = o.amp * cD
+		dst[2*f+6] = o.amp * sD
+		cA, sA = cA*c4-sA*s4, sA*c4+cA*s4
+		cB, sB = cB*c4-sB*s4, sB*c4+cB*s4
+		cC, sC = cC*c4-sC*s4, sC*c4+cC*s4
+		cD, sD = cD*c4-sD*s4, sD*c4+cD*s4
+	}
+	// Frequencies 1..half−1 are an odd count, so up to three remain; the
+	// chains already hold them (A = f, B = f+1, C = f+2 after each step).
+	for j := 0; f < half; f, j = f+1, j+1 {
+		switch j {
+		case 0:
+			dst[2*f-1], dst[2*f] = o.amp*cA, o.amp*sA
+		case 1:
+			dst[2*f-1], dst[2*f] = o.amp*cB, o.amp*sB
+		default:
+			dst[2*f-1], dst[2*f] = o.amp*cC, o.amp*sC
+		}
+	}
+	if i%2 == 0 {
+		dst[n-1] = o.c0
+	} else {
+		dst[n-1] = -o.c0
+	}
+}
+
+// Entry evaluates Φ[i,j] from the packed real-DFT layout: column 0 is the
+// DC atom, column n−1 the Nyquist atom, and columns (2f−1, 2f) the cos/sin
+// pair at frequency f.
+func (o *dftOp) Entry(i, j int) float64 {
+	n := o.n
+	switch {
+	case j == 0:
+		return o.c0
+	case j == n-1:
+		if i%2 == 0 {
+			return o.c0
+		}
+		return -o.c0
+	case j%2 == 1:
+		f := (j + 1) / 2
+		if o.cosTab != nil {
+			return o.amp * o.cosTab[f*i%n]
+		}
+		return o.amp * math.Cos(2*math.Pi*float64(f)*float64(i)/float64(n))
+	default:
+		f := j / 2
+		if o.sinTab != nil {
+			return o.amp * o.sinTab[f*i%n]
+		}
+		return o.amp * math.Sin(2*math.Pi*float64(f)*float64(i)/float64(n))
+	}
+}
+
+// --- Haar (lifting cascade) ----------------------------------------------------
+
+// haarOp computes the orthonormal Haar basis of basis.Haar matrix-free via
+// the O(n) averaging/differencing cascade: each pass halves the working
+// length, emitting detail coefficients for the current level directly into
+// the output.
+type haarOp struct {
+	n    int
+	pool sync.Pool
+}
+
+func newHaarOp(n int) *haarOp {
+	return &haarOp{n: n, pool: sync.Pool{New: func() any {
+		s := make([]float64, 2*n)
+		return &s
+	}}}
+}
+
+func (o *haarOp) Dim() int { return o.n }
+
+const invSqrt2 = 1 / math.Sqrt2
+
+// ApplyTranspose computes α = Φᵀx, the forward Haar transform.
+func (o *haarOp) ApplyTranspose(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sp := o.pool.Get().(*[]float64)
+	buf := (*sp)[:n]
+	avg := (*sp)[n : 2*n]
+	copy(buf, src)
+	for length := n; length >= 2; length >>= 1 {
+		half := length >> 1
+		for i := 0; i < half; i++ {
+			avg[i] = (buf[2*i] + buf[2*i+1]) * invSqrt2
+			dst[half+i] = (buf[2*i] - buf[2*i+1]) * invSqrt2
+		}
+		copy(buf[:half], avg[:half])
+	}
+	dst[0] = buf[0]
+	o.pool.Put(sp)
+}
+
+// Apply computes x = Φα, the inverse cascade.
+func (o *haarOp) Apply(dst, src []float64) {
+	n := o.n
+	checkLens(n, dst, src)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	sp := o.pool.Get().(*[]float64)
+	buf := (*sp)[:n]
+	buf[0] = src[0]
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		for i := half - 1; i >= 0; i-- {
+			a := buf[i]
+			d := src[half+i]
+			buf[2*i] = (a + d) * invSqrt2
+			buf[2*i+1] = (a - d) * invSqrt2
+		}
+	}
+	copy(dst, buf)
+	o.pool.Put(sp)
+}
+
+func (o *haarOp) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *haarOp) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// RowInto fills dst with row i of Φ = Φᵀe_i; the lifting cascade is
+// already O(n), so one analysis of a standard basis vector is row cost.
+func (o *haarOp) RowInto(dst []float64, i int) {
+	sp := o.pool.Get().(*[]float64)
+	e := (*sp)[:o.n]
+	for j := range e {
+		e[j] = 0
+	}
+	e[i] = 1
+	o.ApplyTranspose(dst, e)
+	o.pool.Put(sp)
+}
+
+// --- separable 2-D -------------------------------------------------------------
+
+// Separable2D applies the 2-D basis Φ₂ = Φc ⊗ Φr (the operator form of
+// Kron2D, same column-stacking convention) through its factors: the row
+// factor transforms every field column, the column factor every field row.
+// Cost is O(h·w·(Cr+Cc)) where Cr/Cc are the factor costs — for FFT factors
+// that is O(n log n) against the O(n²) Kronecker matrix, and the (h·w)²
+// product matrix is never materialized. Factors may be any Operator,
+// including another Separable2D (the spatio-temporal decoder stacks a
+// temporal factor on a spatial one).
+type Separable2D struct {
+	row, col Operator
+	h, w, n  int
+	pool     sync.Pool
+}
+
+// NewSeparable2D builds the separable operator for an h-row × w-col field
+// from its row factor (size h) and column factor (size w).
+func NewSeparable2D(rowOp, colOp Operator) *Separable2D {
+	h, w := rowOp.Dim(), colOp.Dim()
+	n := h * w
+	return &Separable2D{
+		row: rowOp, col: colOp, h: h, w: w, n: n,
+		pool: sync.Pool{New: func() any {
+			s := make([]float64, 2*n)
+			return &s
+		}},
+	}
+}
+
+// Factors returns the row and column factor operators.
+func (o *Separable2D) Factors() (rowOp, colOp Operator) { return o.row, o.col }
+
+func (o *Separable2D) Dim() int { return o.n }
+
+func (o *Separable2D) apply(dst, src []float64, transpose bool) {
+	h, w, n := o.h, o.w, o.n
+	checkLens(n, dst, src)
+	if n == 0 {
+		return
+	}
+	sp := o.pool.Get().(*[]float64)
+	t1 := (*sp)[:n]
+	t2 := (*sp)[n : 2*n]
+	// Stage 1: row factor over every (contiguous) field column.
+	for c := 0; c < w; c++ {
+		if transpose {
+			o.row.ApplyTranspose(t1[c*h:(c+1)*h], src[c*h:(c+1)*h])
+		} else {
+			o.row.Apply(t1[c*h:(c+1)*h], src[c*h:(c+1)*h])
+		}
+	}
+	// Transpose so field rows become contiguous.
+	for c := 0; c < w; c++ {
+		for r := 0; r < h; r++ {
+			t2[r*w+c] = t1[c*h+r]
+		}
+	}
+	// Stage 2: column factor over every field row.
+	for r := 0; r < h; r++ {
+		if transpose {
+			o.col.ApplyTranspose(t1[r*w:(r+1)*w], t2[r*w:(r+1)*w])
+		} else {
+			o.col.Apply(t1[r*w:(r+1)*w], t2[r*w:(r+1)*w])
+		}
+	}
+	// Transpose back into column-stacked layout.
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			dst[c*h+r] = t1[r*w+c]
+		}
+	}
+	o.pool.Put(sp)
+}
+
+func (o *Separable2D) Apply(dst, src []float64)          { o.apply(dst, src, false) }
+func (o *Separable2D) ApplyTranspose(dst, src []float64) { o.apply(dst, src, true) }
+
+// RowInto fills dst with row i of the 2-D operator: the Kronecker row is
+// the outer product of the factor rows, Φ₂[i, jc·h+jr] = Φr[ir,jr]·Φc[ic,jc]
+// with ir = i mod h, ic = i div h — O(n) plus two factor rows.
+func (o *Separable2D) RowInto(dst []float64, i int) {
+	h, w := o.h, o.w
+	sp := o.pool.Get().(*[]float64)
+	u := (*sp)[:h]
+	v := (*sp)[h : h+w]
+	factorRow(o.row, u, i%h)
+	factorRow(o.col, v, i/h)
+	for c := 0; c < w; c++ {
+		vc := v[c]
+		row := dst[c*h : (c+1)*h]
+		for r, ur := range u {
+			row[r] = ur * vc
+		}
+	}
+	o.pool.Put(sp)
+}
+
+// factorRow extracts one factor row through RowAccessor when available,
+// falling back to an analysis of the matching standard basis vector.
+func factorRow(op Operator, dst []float64, i int) {
+	if ra, ok := op.(RowAccessor); ok {
+		ra.RowInto(dst, i)
+		return
+	}
+	e := make([]float64, op.Dim())
+	e[i] = 1
+	op.ApplyTranspose(dst, e)
+}
+func (o *Separable2D) ApplyAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, false)
+}
+func (o *Separable2D) ApplyTransposeAll(dst, src *mat.Matrix) error {
+	return applyRows(o, dst, src, true)
+}
+
+// --- convenience ---------------------------------------------------------------
+
+// OpSynthesize returns x = Φα through an operator (allocating form of
+// Apply, mirroring Synthesize).
+func OpSynthesize(op Operator, alpha []float64) ([]float64, error) {
+	if len(alpha) != op.Dim() {
+		return nil, fmt.Errorf("%w: coefficients %d for operator dim %d", mat.ErrShape, len(alpha), op.Dim())
+	}
+	out := make([]float64, op.Dim())
+	op.Apply(out, alpha)
+	return out, nil
+}
+
+// OpAnalyze returns α = Φᵀx through an operator (allocating form of
+// ApplyTranspose, mirroring Analyze).
+func OpAnalyze(op Operator, x []float64) ([]float64, error) {
+	if len(x) != op.Dim() {
+		return nil, fmt.Errorf("%w: signal %d for operator dim %d", mat.ErrShape, len(x), op.Dim())
+	}
+	out := make([]float64, op.Dim())
+	op.ApplyTranspose(out, x)
+	return out, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package basis
+
+const raceEnabled = false

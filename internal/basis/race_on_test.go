@@ -1,0 +1,8 @@
+//go:build race
+
+package basis
+
+// raceEnabled reports whether the race detector is active. The allocation
+// test is skipped under race: the detector randomizes sync.Pool retention,
+// so pooled scratch buffers count as fresh allocations there.
+const raceEnabled = true

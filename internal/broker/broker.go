@@ -395,18 +395,26 @@ func (br *Broker) ReconstructContext(ctx context.Context, kind sensor.Kind, m in
 	return br.ReconstructFrom(g, opts)
 }
 
-// ReconstructFrom recovers the field from an existing gather round.
+// ReconstructFrom recovers the field from an existing gather round. The
+// default bases decode matrix-free (basis.Operator fast path); a LearnPhi
+// prior is matrix-backed and runs the dense reference kernels.
 func (br *Broker) ReconstructFrom(g *GatherResult, opts ReconstructOptions) (*Reconstruction, error) {
 	gw, gh := br.env.GridDims()
-	phi := opts.LearnPhi
-	if phi == nil {
+	var op basis.Operator
+	if opts.LearnPhi != nil {
+		var err error
+		op, err = basis.FromMatrix(opts.LearnPhi)
+		if err != nil {
+			return nil, err
+		}
+	} else {
 		kind := opts.Basis
 		if kind == "" {
 			kind = basis.KindDCT
 		}
 		f := field.New(gw, gh)
 		var err error
-		phi, err = f.Basis2D(kind)
+		op, err = f.Operator2D(kind)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +431,7 @@ func (br *Broker) ReconstructFrom(g *GatherResult, opts ReconstructOptions) (*Re
 		chsOpts.V = cs.NoiseCovariance(g.Sigmas, 1e-4)
 	}
 	sp := obs.StartSpan("broker.reconstruct")
-	res, err := cs.CHS(phi, g.Locs, g.Values, chsOpts)
+	res, err := cs.CHSOp(op, g.Locs, g.Values, chsOpts)
 	sp.Finish()
 	if err != nil {
 		return nil, err

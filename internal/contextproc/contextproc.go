@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/basis"
 	"repro/internal/cs"
 	"repro/internal/mat"
 )
@@ -254,16 +255,16 @@ func IsIndoor(r EnvReading) bool {
 // downstream context classification runs on the reconstruction. M/N is the
 // duty cycle — the energy knob.
 type Pipeline struct {
-	N, M, K int         // window length, measurements, sparsity budget
-	Phi     *mat.Matrix // N×N orthonormal basis (DCT/DFT)
+	N, M, K int            // window length, measurements, sparsity budget
+	Phi     basis.Operator // N-point orthonormal basis operator (DCT/DFT)
 }
 
 // NewPipeline validates and builds a pipeline.
-func NewPipeline(phi *mat.Matrix, m, k int) (*Pipeline, error) {
-	if phi == nil || phi.Rows != phi.Cols || phi.Rows == 0 {
-		return nil, errors.New("contextproc: pipeline needs a square basis")
+func NewPipeline(phi basis.Operator, m, k int) (*Pipeline, error) {
+	if phi == nil || phi.Dim() == 0 {
+		return nil, errors.New("contextproc: pipeline needs a basis operator")
 	}
-	n := phi.Rows
+	n := phi.Dim()
 	if m <= 0 || m > n {
 		return nil, fmt.Errorf("contextproc: measurements %d outside (0,%d]", m, n)
 	}
@@ -288,7 +289,7 @@ func (p *Pipeline) Reconstruct(window []float64, rng *rand.Rand) ([]float64, []i
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cs.OMP(p.Phi, locs, y, p.K, 1e-9)
+	res, err := cs.OMPOp(p.Phi, locs, y, p.K, 1e-9)
 	if err != nil {
 		return nil, nil, err
 	}

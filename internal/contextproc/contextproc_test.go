@@ -158,7 +158,10 @@ func TestIsIndoor(t *testing.T) {
 }
 
 func TestNewPipelineValidation(t *testing.T) {
-	phi := basis.DCT(64)
+	phi, err := basis.OperatorFor(basis.KindDCT, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewPipeline(nil, 10, 5); err == nil {
 		t.Fatal("want nil-basis error")
 	}
@@ -180,7 +183,10 @@ func TestPipelineReconstructDrivingWindow(t *testing.T) {
 	// The paper's Fig. 4 setting: 256-sample accelerometer window, 30
 	// random samples, reconstruction good enough to classify.
 	xs := window(t, sensor.MotionDriving, 256, 0.02, 6)
-	phi := basis.DFT(256)
+	phi, err := basis.OperatorFor(basis.KindDFT, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := NewPipeline(phi, 30, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +208,11 @@ func TestPipelineReconstructDrivingWindow(t *testing.T) {
 }
 
 func TestPipelineWindowLengthError(t *testing.T) {
-	p, _ := NewPipeline(basis.DCT(64), 16, 4)
+	op, err := basis.OperatorFor(basis.KindDCT, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPipeline(op, 16, 4)
 	if _, _, err := p.Reconstruct(make([]float64, 32), rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("want window length error")
 	}
@@ -261,7 +271,10 @@ func BenchmarkPipelineClassify(b *testing.B) {
 	m, _ := sensor.AccelModel(sensor.MotionDriving)
 	p, _ := sensor.NewProbe("a", sensor.Accelerometer, 3, sensor.Config{RateHz: 64, Seed: 1}, m)
 	xs, _ := p.CollectAxis(256, 2)
-	phi := basis.DFT(256)
+	phi, err := basis.OperatorFor(basis.KindDFT, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
 	pipe, _ := NewPipeline(phi, 30, 8)
 	rng := rand.New(rand.NewSource(2))
 	b.ReportAllocs()

@@ -108,7 +108,7 @@ func (sd *SenseDroid) RunTemporalCampaign(cfg TemporalCampaignConfig) (*Temporal
 		z := lc.Env.Zone()
 		zs := seqs[z.ID]
 		proto := field.New(z.W, z.H)
-		phi, err := proto.Basis2D(basis.KindDCT)
+		phi, err := proto.Operator2D(basis.KindDCT)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +150,7 @@ func (sd *SenseDroid) RunTemporalCampaign(cfg TemporalCampaignConfig) (*Temporal
 				if k < 1 {
 					k = 1
 				}
-				r, err := cs.OMP(phi, locs, y, k, 1e-9)
+				r, err := cs.OMPOp(phi, locs, y, k, 1e-9)
 				if err != nil {
 					return nil, err
 				}

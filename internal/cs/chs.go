@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/basis"
 	"repro/internal/mat"
 )
 
@@ -60,14 +61,42 @@ type CHSOptions struct {
 // residual, until the stop criterion is met. It returns the reconstruction
 // x̂ = Φ_K α_K along with the recovered support.
 func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	if len(y) != a.Rows {
+	return chsDict(d, locs, y, opts)
+}
+
+// CHSOp is CHS through a matrix-free basis operator: the step-(b)
+// full-basis analysis Φᵀe becomes one fast transform and each admitted
+// column one synthesis — the combination that makes 1024² broker
+// reconstructions feasible (the dense Φ there would be ~8 TB).
+func CHSOp(op basis.Operator, locs []int, y []float64, opts CHSOptions) (*Result, error) {
+	d, err := dictFor(op, locs)
+	if err != nil {
+		return nil, err
+	}
+	return chsDict(d, locs, y, opts)
+}
+
+// hasDuplicateLocs reports whether any sensor location appears twice.
+func hasDuplicateLocs(locs []int) bool {
+	seen := make(map[int]struct{}, len(locs))
+	for _, l := range locs {
+		if _, ok := seen[l]; ok {
+			return true
+		}
+		seen[l] = struct{}{}
+	}
+	return false
+}
+
+func chsDict(d dict, locs []int, y []float64, opts CHSOptions) (*Result, error) {
+	if len(y) != d.rows() {
 		return nil, errors.New("cs: measurement/location length mismatch")
 	}
-	n := phi.Cols
+	n := d.cols()
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 32
 	}
@@ -77,8 +106,18 @@ func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, er
 	if opts.MaxSupport <= 0 || opts.MaxSupport > len(locs) {
 		opts.MaxSupport = len(locs)
 	}
+	// Under the default ZeroFill interpolation, steps (a)+(b) compose to
+	// exactly Φ̃ᵀe_r — one scatter+analysis with no interpolant allocation.
+	// The fused path is taken only on the matrix-free dictionary (where it
+	// is bit-identical to ZeroFill+analyzeFull, both being a scatter into
+	// the same buffer followed by one ApplyTranspose); the dense dictionary
+	// keeps the historical two-step arithmetic so its decodes stay
+	// bit-identical to the pre-operator implementation. Duplicate sensor
+	// locations disable it: corrT accumulates where ZeroFill overwrites.
+	od, fused := d.(*opDict)
+	fused = fused && opts.Interp == nil && !hasDuplicateLocs(locs)
 	if opts.Interp == nil {
-		opts.Interp = ZeroFill(n)
+		opts.Interp = ZeroFill(d.signalDim())
 	}
 
 	// Step 1: J = ∅, e_r = x_S. The growing-support OLS of step (e) is kept
@@ -89,13 +128,13 @@ func CHS(phi *mat.Matrix, locs []int, y []float64, opts CHSOptions) (*Result, er
 	resid := mat.CloneVec(y)
 	support := make([]int, 0, opts.MaxSupport)
 	inSupport := make([]bool, n)
-	qr, err := mat.NewIncrementalQR(a.Rows, opts.MaxSupport)
+	qr, err := mat.NewIncrementalQR(d.rows(), opts.MaxSupport)
 	if err != nil {
 		return nil, err
 	}
 	eNew := make([]float64, 0)
 	alphaR := make([]float64, n)
-	col := make([]float64, a.Rows)
+	col := make([]float64, d.rows())
 	iters := 0
 
 outer:
@@ -104,14 +143,19 @@ outer:
 			break
 		}
 		iters++
-		// (a) e_new = Υ(e_r).
-		eNew, err = opts.Interp(locs, resid)
-		if err != nil {
-			return nil, err
-		}
-		// (b) α_r = Φ† e_new; Φ orthonormal ⇒ Φ† = Φᵀ.
-		if err := mat.MulTVecInto(alphaR, phi, eNew); err != nil {
-			return nil, err
+		// (a) e_new = Υ(e_r); (b) α_r = Φ† e_new; Φ orthonormal ⇒ Φ† = Φᵀ.
+		if fused {
+			if err := od.corrT(alphaR, resid); err != nil {
+				return nil, err
+			}
+		} else {
+			eNew, err = opts.Interp(locs, resid)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.analyzeFull(alphaR, eNew); err != nil {
+				return nil, err
+			}
 		}
 		// (c–e) admit the PerIter most significant unused coefficients,
 		// folding each admitted column into the OLS factors. Support
@@ -134,8 +178,8 @@ outer:
 			if bestJ < 0 || best == 0 {
 				break
 			}
-			for i := 0; i < a.Rows; i++ {
-				col[i] = a.Data[i*a.Cols+bestJ]
+			if err := d.col(col, bestJ); err != nil {
+				return nil, err
 			}
 			if err := qr.Append(col); err != nil {
 				// Rank-deficient admission: the column adds nothing the
@@ -158,10 +202,7 @@ outer:
 	}
 
 	if len(support) == 0 {
-		return &Result{
-			Alpha: make([]float64, n), Support: nil,
-			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
-		}, nil
+		return zeroResult(d, y, iters), nil
 	}
 	coef, err := qr.Solve(y)
 	if err != nil {
@@ -170,13 +211,13 @@ outer:
 	// Fig. 6 step (e-ii): for heterogeneous sensors, refit the recovered
 	// support with the noise-covariance-weighted GLS estimate.
 	if opts.V != nil {
-		sub, err := mat.SelectCols(a, support)
-		if err != nil {
+		sub := mat.New(d.rows(), len(support))
+		if err := d.subInto(sub, support); err != nil {
 			return nil, err
 		}
 		if gcoef, err := mat.WeightedLeastSquares(sub, y, opts.V); err == nil {
 			coef = gcoef
 		}
 	}
-	return packResult(phi, support, coef, y, a, iters)
+	return packResultDict(d, support, coef, y, iters)
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/basis"
 	"repro/internal/lp"
 	"repro/internal/mat"
 )
@@ -38,63 +39,37 @@ type Result struct {
 	Iterations int
 }
 
-// reconstruct synthesizes Xhat = Φ·α restricted to the support.
-func reconstruct(phi *mat.Matrix, support []int, coef []float64) ([]float64, error) {
-	xhat := make([]float64, phi.Rows)
-	for s, j := range support {
-		cj := coef[s]
-		if cj == 0 {
-			continue
-		}
-		for i := 0; i < phi.Rows; i++ {
-			xhat[i] += phi.Data[i*phi.Cols+j] * cj
-		}
-	}
-	return xhat, nil
-}
-
-func packResult(phi *mat.Matrix, support []int, coef []float64, y []float64, a *mat.Matrix, iters int) (*Result, error) {
-	n := phi.Cols
-	alpha := make([]float64, n)
-	for s, j := range support {
-		alpha[j] = coef[s]
-	}
-	xhat, err := reconstruct(phi, support, coef)
-	if err != nil {
-		return nil, err
-	}
-	// Residual at sensors.
-	res := 0.0
-	for i := 0; i < a.Rows; i++ {
-		pred := 0.0
-		for s, j := range support {
-			pred += a.Data[i*a.Cols+j] * coef[s]
-		}
-		d := y[i] - pred
-		res += d * d
-	}
-	return &Result{
-		Alpha: alpha, Support: support, Xhat: xhat,
-		Residual: math.Sqrt(res), Iterations: iters,
-	}, nil
-}
-
 // OMP recovers a K-sparse coefficient vector from measurements y taken at
 // locations locs, using orthogonal matching pursuit (Tropp & Gilbert; the
 // solver the paper names for Eq. 13). It stops after k atoms or when the
 // residual norm drops below tol.
 //
 // The per-iteration work is the incremental fast path: the correlation scan
-// is one row-major Φ̃ᵀr pass, the selected column is folded into a rank-1
-// updated QR factorization, and the residual is deflated in O(M) — no
-// per-iteration submatrix copy or full refactorization. The least-squares
-// coefficients are solved once, at the end, from the accumulated factors.
+// is one Φ̃ᵀr pass, the selected column is folded into a rank-1 updated QR
+// factorization, and the residual is deflated in O(M) — no per-iteration
+// submatrix copy or full refactorization. The least-squares coefficients
+// are solved once, at the end, from the accumulated factors.
 func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	m, n := a.Rows, a.Cols
+	return ompDict(d, y, k, tol)
+}
+
+// OMPOp is OMP through a matrix-free basis operator: correlations and
+// column extractions run in O(n log n) scatter/gather applies instead of
+// dense M×N passes. A *basis.MatrixOp routes to the dense reference kernel.
+func OMPOp(op basis.Operator, locs []int, y []float64, k int, tol float64) (*Result, error) {
+	d, err := dictFor(op, locs)
+	if err != nil {
+		return nil, err
+	}
+	return ompDict(d, y, k, tol)
+}
+
+func ompDict(d dict, y []float64, k int, tol float64) (*Result, error) {
+	m, n := d.rows(), d.cols()
 	if len(y) != m {
 		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
 	}
@@ -104,16 +79,10 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 	if k > m {
 		k = m // cannot identify more atoms than measurements
 	}
-	// Column norms for normalized correlation, accumulated row-major.
+	// Column norms for normalized correlation.
 	colNorm := make([]float64, n)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*n : (i+1)*n]
-		for j, v := range row {
-			colNorm[j] += v * v
-		}
-	}
-	for j, s := range colNorm {
-		colNorm[j] = math.Sqrt(s)
+	if err := d.colNorms(colNorm); err != nil {
+		return nil, err
 	}
 	qr, err := mat.NewIncrementalQR(m, k)
 	if err != nil {
@@ -127,8 +96,8 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 	iters := 0
 	for len(support) < k {
 		iters++
-		// Correlate residual with every column in one row-major pass.
-		if err := mat.MulTVecInto(corr, a, resid); err != nil {
+		// Correlate residual with every column in one dictionary pass.
+		if err := d.corrT(corr, resid); err != nil {
 			return nil, err
 		}
 		best, bestJ := 0.0, -1
@@ -143,8 +112,8 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 		if bestJ < 0 {
 			break
 		}
-		for i := 0; i < m; i++ {
-			col[i] = a.Data[i*n+bestJ]
+		if err := d.col(col, bestJ); err != nil {
+			return nil, err
 		}
 		if err := qr.Append(col); err != nil {
 			// The chosen column is linearly dependent on the current support:
@@ -163,16 +132,13 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 	}
 	if len(support) == 0 {
 		// Zero signal.
-		return &Result{
-			Alpha: make([]float64, n), Support: nil,
-			Xhat: make([]float64, phi.Rows), Residual: mat.Norm2(y), Iterations: iters,
-		}, nil
+		return zeroResult(d, y, iters), nil
 	}
 	coef, err := qr.Solve(y)
 	if err != nil {
 		return nil, err
 	}
-	return packResult(phi, support, coef, y, a, iters)
+	return packResultDict(d, support, coef, y, iters)
 }
 
 // OMPCentered recovers a signal whose prior mean mu (length N) is known —
@@ -181,15 +147,9 @@ func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result,
 // mean-centered before decoding and the mean is added back to Xhat.
 // Alpha/Support/Residual describe the centered component.
 func OMPCentered(phi *mat.Matrix, locs []int, y []float64, mu []float64, k int, tol float64) (*Result, error) {
-	if len(mu) != phi.Rows {
-		return nil, fmt.Errorf("cs: mean length %d, want %d", len(mu), phi.Rows)
-	}
-	yc := make([]float64, len(y))
-	for i, l := range locs {
-		if l < 0 || l >= len(mu) {
-			return nil, fmt.Errorf("cs: location %d out of range [0,%d)", l, len(mu))
-		}
-		yc[i] = y[i] - mu[l]
+	yc, err := centerMeasurements(locs, y, mu, phi.Rows)
+	if err != nil {
+		return nil, err
 	}
 	res, err := OMP(phi, locs, yc, k, tol)
 	if err != nil {
@@ -199,6 +159,36 @@ func OMPCentered(phi *mat.Matrix, locs []int, y []float64, mu []float64, k int, 
 		res.Xhat[i] += mu[i]
 	}
 	return res, nil
+}
+
+// OMPCenteredOp is OMPCentered through a matrix-free operator.
+func OMPCenteredOp(op basis.Operator, locs []int, y []float64, mu []float64, k int, tol float64) (*Result, error) {
+	yc, err := centerMeasurements(locs, y, mu, op.Dim())
+	if err != nil {
+		return nil, err
+	}
+	res, err := OMPOp(op, locs, yc, k, tol)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Xhat {
+		res.Xhat[i] += mu[i]
+	}
+	return res, nil
+}
+
+func centerMeasurements(locs []int, y, mu []float64, dim int) ([]float64, error) {
+	if len(mu) != dim {
+		return nil, fmt.Errorf("cs: mean length %d, want %d", len(mu), dim)
+	}
+	yc := make([]float64, len(y))
+	for i, l := range locs {
+		if l < 0 || l >= len(mu) {
+			return nil, fmt.Errorf("cs: location %d out of range [0,%d)", l, len(mu))
+		}
+		yc[i] = y[i] - mu[l]
+	}
+	return yc, nil
 }
 
 // BasisPursuit recovers the minimum-L1 coefficient vector subject to the
@@ -247,51 +237,72 @@ func BasisPursuit(phi *mat.Matrix, locs []int, y []float64, zeroTol float64) (*R
 			coef = append(coef, v)
 		}
 	}
-	return packResult(phi, support, coef, y, a, sol.Iterations)
+	return packResultDict(&denseDict{phi: phi, a: a}, support, coef, y, sol.Iterations)
 }
 
 // FixedSupportOLS solves for the coefficients on a known support J with
 // ordinary least squares — the paper's Eq. (11), appropriate for
 // homogeneous sensors. Requires len(locs) ≥ len(support).
 func FixedSupportOLS(phi *mat.Matrix, locs []int, y []float64, support []int) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkSupport(support, phi.Cols); err != nil {
-		return nil, err
-	}
-	sub, err := mat.SelectCols(a, support)
+	return fixedSupportDict(d, y, support, nil)
+}
+
+// FixedSupportOLSOp is FixedSupportOLS through a matrix-free operator: the
+// M×|J| design matrix is assembled column by column via scatter/gather
+// applies — Φ is never materialized or sliced densely.
+func FixedSupportOLSOp(op basis.Operator, locs []int, y []float64, support []int) (*Result, error) {
+	d, err := dictFor(op, locs)
 	if err != nil {
 		return nil, err
 	}
-	coef, err := mat.LeastSquares(sub, y)
-	if err != nil {
-		return nil, err
-	}
-	return packResult(phi, support, coef, y, a, 1)
+	return fixedSupportDict(d, y, support, nil)
 }
 
 // FixedSupportGLS solves for the coefficients on a known support with
 // generalized least squares under sensor-noise covariance V — the paper's
 // Eq. (12), for heterogeneous sensors. V is M×M (ordered like locs).
 func FixedSupportGLS(phi *mat.Matrix, locs []int, y []float64, support []int, v *mat.Matrix) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	if err := checkSupport(support, phi.Cols); err != nil {
-		return nil, err
-	}
-	sub, err := mat.SelectCols(a, support)
+	return fixedSupportDict(d, y, support, v)
+}
+
+// FixedSupportGLSOp is FixedSupportGLS through a matrix-free operator.
+func FixedSupportGLSOp(op basis.Operator, locs []int, y []float64, support []int, v *mat.Matrix) (*Result, error) {
+	d, err := dictFor(op, locs)
 	if err != nil {
 		return nil, err
 	}
-	coef, err := mat.WeightedLeastSquares(sub, y, v)
+	return fixedSupportDict(d, y, support, v)
+}
+
+// fixedSupportDict is the shared Eq. (11)/(12) core: v == nil selects OLS,
+// otherwise GLS under covariance v.
+func fixedSupportDict(d dict, y []float64, support []int, v *mat.Matrix) (*Result, error) {
+	if err := checkSupport(support, d.cols()); err != nil {
+		return nil, err
+	}
+	sub := mat.New(d.rows(), len(support))
+	if err := d.subInto(sub, support); err != nil {
+		return nil, err
+	}
+	var coef []float64
+	var err error
+	if v == nil {
+		coef, err = mat.LeastSquares(sub, y)
+	} else {
+		coef, err = mat.WeightedLeastSquares(sub, y, v)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return packResult(phi, support, coef, y, a, 1)
+	return packResultDict(d, support, coef, y, 1)
 }
 
 func checkSupport(support []int, n int) error {
@@ -375,6 +386,19 @@ func NoiseCovariance(sigmas []float64, minSigma float64) *mat.Matrix {
 // optimal K such that the total error ε is minimal" guidance without
 // needing ground truth.
 func ChooseKCrossVal(phi *mat.Matrix, locs []int, y []float64, kMax int, holdout float64, rng *rand.Rand) (int, error) {
+	return chooseKCore(func(l []int, yy []float64, k int) (*Result, error) {
+		return OMP(phi, l, yy, k, 0)
+	}, locs, y, kMax, holdout, rng)
+}
+
+// ChooseKCrossValOp is ChooseKCrossVal through a matrix-free operator.
+func ChooseKCrossValOp(op basis.Operator, locs []int, y []float64, kMax int, holdout float64, rng *rand.Rand) (int, error) {
+	return chooseKCore(func(l []int, yy []float64, k int) (*Result, error) {
+		return OMPOp(op, l, yy, k, 0)
+	}, locs, y, kMax, holdout, rng)
+}
+
+func chooseKCore(decode func(locs []int, y []float64, k int) (*Result, error), locs []int, y []float64, kMax int, holdout float64, rng *rand.Rand) (int, error) {
 	m := len(locs)
 	if m < 4 {
 		return 0, errors.New("cs: too few measurements for cross-validation")
@@ -398,7 +422,7 @@ func ChooseKCrossVal(phi *mat.Matrix, locs []int, y []float64, kMax int, holdout
 		kMax = len(trLocs)
 	}
 	for k := 1; k <= kMax; k++ {
-		res, err := OMP(phi, trLocs, trY, k, 0)
+		res, err := decode(trLocs, trY, k)
 		if err != nil {
 			continue
 		}

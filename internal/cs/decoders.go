@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/basis"
 	"repro/internal/lp"
 	"repro/internal/mat"
 )
@@ -28,11 +29,26 @@ type IHTOptions struct {
 // magnitudes. Slower to converge than OMP but a single matrix-vector pair
 // per iteration and very robust to coherent dictionaries.
 func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	m, n := a.Rows, a.Cols
+	return ihtDict(d, y, opts)
+}
+
+// IHTOp is IHT through a matrix-free basis operator: the per-iteration
+// matrix-vector pair (predict, correlate) becomes one synthesis and one
+// analysis at O(n log n).
+func IHTOp(op basis.Operator, locs []int, y []float64, opts IHTOptions) (*Result, error) {
+	d, err := dictFor(op, locs)
+	if err != nil {
+		return nil, err
+	}
+	return ihtDict(d, y, opts)
+}
+
+func ihtDict(d dict, y []float64, opts IHTOptions) (*Result, error) {
+	m, n := d.rows(), d.cols()
 	if len(y) != m {
 		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
 	}
@@ -59,7 +75,7 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 	iters := 0
 	for ; iters < opts.MaxIter; iters++ {
 		// r = y − Φ̃α.
-		if err := mat.MulVecInto(pred, a, alpha); err != nil {
+		if err := d.predict(pred, alpha); err != nil {
 			return nil, err
 		}
 		for i := range r {
@@ -70,7 +86,7 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 			break
 		}
 		prevRes = rn
-		if err := mat.MulTVecInto(g, a, r); err != nil {
+		if err := d.corrT(g, r); err != nil {
 			return nil, err
 		}
 		// Normalized-IHT step (Blumensath & Davies): the exact line-search
@@ -87,7 +103,7 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 			for _, j := range workSup {
 				gS[j] = g[j]
 			}
-			if err := mat.MulVecInto(agS, a, gS); err != nil {
+			if err := d.predict(agS, gS); err != nil {
 				return nil, err
 			}
 			num := 0.0
@@ -113,8 +129,8 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 	// Debias: least squares on the final support.
 	coef := make([]float64, len(support))
 	if len(support) > 0 && len(support) <= m {
-		sub, err := mat.SelectCols(a, support)
-		if err != nil {
+		sub := mat.New(m, len(support))
+		if err := d.subInto(sub, support); err != nil {
 			return nil, err
 		}
 		if ls, err := mat.LeastSquares(sub, y); err == nil {
@@ -129,7 +145,7 @@ func IHT(phi *mat.Matrix, locs []int, y []float64, opts IHTOptions) (*Result, er
 			coef[i] = alpha[j]
 		}
 	}
-	return packResult(phi, support, coef, y, a, iters)
+	return packResultDict(d, support, coef, y, iters)
 }
 
 // CoSaMPOptions tunes CoSaMP.
@@ -143,11 +159,24 @@ type CoSaMPOptions struct {
 // merging the 2K strongest residual correlations into the support, solving
 // least squares, and pruning back to K.
 func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Result, error) {
-	a, err := sensingMatrix(phi, locs)
+	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	m, n := a.Rows, a.Cols
+	return cosampDict(d, y, opts)
+}
+
+// CoSaMPOp is CoSaMP through a matrix-free basis operator.
+func CoSaMPOp(op basis.Operator, locs []int, y []float64, opts CoSaMPOptions) (*Result, error) {
+	d, err := dictFor(op, locs)
+	if err != nil {
+		return nil, err
+	}
+	return cosampDict(d, y, opts)
+}
+
+func cosampDict(d dict, y []float64, opts CoSaMPOptions) (*Result, error) {
+	m, n := d.rows(), d.cols()
 	if len(y) != m {
 		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
 	}
@@ -192,7 +221,7 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 		}
 		prev = rn
 		// Proxy = Φ̃ᵀ r; take 2K strongest plus current support.
-		if err := mat.MulTVecInto(proxy, a, resid); err != nil {
+		if err := d.corrT(proxy, resid); err != nil {
 			return nil, err
 		}
 		for _, j := range supportOf(alpha) {
@@ -214,7 +243,7 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 			break
 		}
 		sub := &mat.Matrix{Rows: m, Cols: len(idx), Data: subBuf[:m*len(idx)]}
-		if err := mat.SelectColsInto(sub, a, idx); err != nil {
+		if err := d.subInto(sub, idx); err != nil {
 			return nil, err
 		}
 		ls, err := mat.LeastSquares(sub, y)
@@ -232,7 +261,7 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 		// Update residual from the pruned estimate.
 		support := supportOf(alpha)
 		sub2 := &mat.Matrix{Rows: m, Cols: len(support), Data: subBuf[:m*len(support)]}
-		if err := mat.SelectColsInto(sub2, a, support); err != nil {
+		if err := d.subInto(sub2, support); err != nil {
 			return nil, err
 		}
 		coef = coef[:len(support)]
@@ -251,7 +280,7 @@ func CoSaMP(phi *mat.Matrix, locs []int, y []float64, opts CoSaMPOptions) (*Resu
 	for i, j := range support {
 		coef[i] = alpha[j]
 	}
-	return packResult(phi, support, coef, y, a, iters)
+	return packResultDict(d, support, coef, y, iters)
 }
 
 // BPDN solves basis pursuit denoising via the LP relaxation with a noise
@@ -314,7 +343,7 @@ func BPDN(phi *mat.Matrix, locs []int, y []float64, eps, zeroTol float64) (*Resu
 			coef = append(coef, v)
 		}
 	}
-	return packResult(phi, support, coef, y, a, sol.Iterations)
+	return packResultDict(&denseDict{phi: phi, a: a}, support, coef, y, sol.Iterations)
 }
 
 // --- helpers -------------------------------------------------------------------

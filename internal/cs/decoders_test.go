@@ -187,7 +187,7 @@ func TestJointSpatioTemporalBeatsPerStep(t *testing.T) {
 	// Slowly drifting plume: joint decoding in the temporal⊗spatial basis
 	// should beat independent per-step decoding at the same total budget.
 	proto := field.New(12, 12)
-	phi, err := proto.Basis2D(basis.KindDCT)
+	phi, err := proto.Operator2D(basis.KindDCT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestJointSpatioTemporalBeatsPerStep(t *testing.T) {
 
 func TestJointRecoveryWithNoise(t *testing.T) {
 	proto := field.New(10, 10)
-	phi, err := proto.Basis2D(basis.KindDCT)
+	phi, err := proto.Operator2D(basis.KindDCT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,10 @@ func TestJointRecoveryWithNoise(t *testing.T) {
 }
 
 func TestRecoverSequenceValidation(t *testing.T) {
-	phi := basis.DCT(16)
+	phi, err := basis.OperatorFor(basis.KindDCT, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := RecoverSequence(phi, nil, SequenceOptions{M: 4}); err == nil {
 		t.Fatal("want empty error")
 	}

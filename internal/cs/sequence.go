@@ -21,7 +21,6 @@ import (
 	"math/rand"
 
 	"repro/internal/basis"
-	"repro/internal/mat"
 )
 
 // SequenceOptions tunes the per-step baseline decoder.
@@ -40,8 +39,10 @@ type StepReport struct {
 }
 
 // RecoverSequence samples and recovers each field in the sequence
-// independently (each a column-stacked vector of length phi.Rows).
-func RecoverSequence(phi *mat.Matrix, seq [][]float64, opts SequenceOptions) ([]StepReport, [][]float64, error) {
+// independently (each a column-stacked vector of length phi.Dim()). The
+// spatial basis is a matrix-free operator; wrap a dense matrix with
+// basis.FromMatrix to run the reference path.
+func RecoverSequence(phi basis.Operator, seq [][]float64, opts SequenceOptions) ([]StepReport, [][]float64, error) {
 	n, err := checkSequence(phi, seq)
 	if err != nil {
 		return nil, nil, err
@@ -68,7 +69,7 @@ func RecoverSequence(phi *mat.Matrix, seq [][]float64, opts SequenceOptions) ([]
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := OMP(phi, locs, y, k, 1e-9)
+		res, err := OMPOp(phi, locs, y, k, 1e-9)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -96,19 +97,23 @@ type JointMeasurements struct {
 
 // DecodeSpatioTemporal decodes joint measurements in Ψ = Φ_space ⊗ DCT_T
 // and returns the per-step recovered fields plus the raw result. k ≤ 0
-// applies the |measurements|/3 heuristic.
-func DecodeSpatioTemporal(phi *mat.Matrix, jm JointMeasurements, k int) ([][]float64, *Result, error) {
-	if jm.T <= 0 || jm.N != phi.Rows {
+// applies the |measurements|/3 heuristic. The joint basis is applied
+// separably — the T·N × T·N Kronecker product is never materialized, which
+// is what keeps long sequences over large grids affordable.
+func DecodeSpatioTemporal(phi basis.Operator, jm JointMeasurements, k int) ([][]float64, *Result, error) {
+	if jm.T <= 0 || jm.N != phi.Dim() {
 		return nil, nil, errors.New("cs: joint measurements shape mismatch")
 	}
 	if len(jm.Locs) == 0 || len(jm.Locs) != len(jm.Y) {
 		return nil, nil, errors.New("cs: joint measurements empty or inconsistent")
 	}
-	tempo := basis.CachedDCT(jm.T)
-	joint, err := basis.Kron2D(phi, tempo)
+	tempo, err := basis.CachedOperator(basis.KindDCT, jm.T)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Joint index step·N + loc matches Separable2D's column-stacked layout
+	// with the spatial factor on rows and the temporal factor on columns.
+	joint := basis.NewSeparable2D(phi, tempo)
 	if k <= 0 {
 		k = len(jm.Locs) / 3
 	}
@@ -118,7 +123,7 @@ func DecodeSpatioTemporal(phi *mat.Matrix, jm JointMeasurements, k int) ([][]flo
 	if k < 1 {
 		k = 1
 	}
-	res, err := OMP(joint, jm.Locs, jm.Y, k, 1e-9)
+	res, err := OMPOp(joint, jm.Locs, jm.Y, k, 1e-9)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -136,7 +141,7 @@ func DecodeSpatioTemporal(phi *mat.Matrix, jm JointMeasurements, k int) ([][]flo
 // joint signal — few temporal modes represent a slowly evolving field, so
 // the joint problem is much sparser relative to its size than any single
 // snapshot.
-func RecoverSpatioTemporal(phi *mat.Matrix, seq [][]float64, opts SpatioTemporalOptions) ([]StepReport, [][]float64, error) {
+func RecoverSpatioTemporal(phi basis.Operator, seq [][]float64, opts SpatioTemporalOptions) ([]StepReport, [][]float64, error) {
 	n, err := checkSequence(phi, seq)
 	if err != nil {
 		return nil, nil, err
@@ -178,11 +183,11 @@ func RecoverSpatioTemporal(phi *mat.Matrix, seq [][]float64, opts SpatioTemporal
 	return reports, recovered, nil
 }
 
-func checkSequence(phi *mat.Matrix, seq [][]float64) (int, error) {
+func checkSequence(phi basis.Operator, seq [][]float64) (int, error) {
 	if len(seq) == 0 {
 		return 0, errors.New("cs: empty sequence")
 	}
-	n := phi.Rows
+	n := phi.Dim()
 	for _, x := range seq {
 		if len(x) != n {
 			return 0, errors.New("cs: sequence step length mismatch")

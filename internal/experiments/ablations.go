@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/cs"
 	"repro/internal/field"
-	"repro/internal/mat"
 )
 
 // --- A1: basis choice with prior data ---------------------------------------------------
@@ -54,18 +53,24 @@ func A1(cfg A1Config) (*Table, error) {
 	}
 	mu := traces.Mean()
 	proto := field.New(cfg.W, cfg.H)
-	dct, err := proto.Basis2D(basis.KindDCT)
+	dct, err := proto.Operator2D(basis.KindDCT)
 	if err != nil {
 		return nil, err
 	}
-	haar, err := proto.Basis2D(basis.KindHaar)
+	haar, err := proto.Operator2D(basis.KindHaar)
+	if err != nil {
+		return nil, err
+	}
+	// The learned PCA basis has no fast transform; FromMatrix keeps it on
+	// the dense reference path behind the same Operator interface.
+	learnedOp, err := basis.FromMatrix(learned)
 	if err != nil {
 		return nil, err
 	}
 	bases := []struct {
 		name string
-		phi  *mat.Matrix
-	}{{"dct", dct}, {"haar", haar}, {"learned-pca", learned}}
+		phi  basis.Operator
+	}{{"dct", dct}, {"haar", haar}, {"learned-pca", learnedOp}}
 
 	t := &Table{
 		ID:     "A1",
@@ -92,9 +97,9 @@ func A1(cfg A1Config) (*Table, error) {
 			if bs.name == "learned-pca" {
 				// PCA eigenvectors span variation around the trace mean, so
 				// decode mean-centered (the broker knows μ from its prior).
-				res, err = cs.OMPCentered(bs.phi, locs, y, mu, cfg.K, 1e-9)
+				res, err = cs.OMPCenteredOp(bs.phi, locs, y, mu, cfg.K, 1e-9)
 			} else {
-				res, err = cs.OMP(bs.phi, locs, y, cfg.K, 1e-9)
+				res, err = cs.OMPOp(bs.phi, locs, y, cfg.K, 1e-9)
 			}
 			if err != nil {
 				return err
@@ -147,6 +152,10 @@ func DefaultA2() A2Config {
 // measurement noise, so both effects are active.
 func A2(cfg A2Config) (*Table, error) {
 	phi := basis.CachedDCT(cfg.N)
+	op, err := basis.CachedOperator(basis.KindDCT, cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "A2",
 		Title:  "Total error vs sparsity budget K at fixed M (U-shape)",
@@ -182,7 +191,7 @@ func A2(cfg A2Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			res, err := cs.OMP(phi, locs, y, k, 0)
+			res, err := cs.OMPOp(op, locs, y, k, 0)
 			if err != nil {
 				return err
 			}

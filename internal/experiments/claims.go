@@ -121,6 +121,10 @@ func C2(cfg C2Config) (*Table, error) {
 	}
 	for _, n := range cfg.Ns {
 		phi := basis.CachedDCT(n)
+		op, err := basis.CachedOperator(basis.KindDCT, n)
+		if err != nil {
+			return nil, err
+		}
 		for _, k := range cfg.Ks {
 			mMin := -1
 			for m := k + 2; m <= n; m += 2 {
@@ -143,7 +147,7 @@ func C2(cfg C2Config) (*Table, error) {
 						if err != nil {
 							return err
 						}
-						res, err := cs.OMP(phi, locs, y, k, 1e-10)
+						res, err := cs.OMPOp(op, locs, y, k, 1e-10)
 						if err != nil {
 							return nil // decode failure counts as a miss, not an error
 						}
@@ -261,7 +265,7 @@ func C4(cfg C4Config) (*Table, error) {
 	indoor := sensor.AlternatingSchedule(1800) // 30 min indoors, 30 min out
 	gpsModel := sensor.GPSModel(indoor)
 	wifiModel := sensor.WiFiModel(indoor)
-	phi, err := basis.Cached(basis.KindHaar, cfg.WindowLen)
+	phi, err := basis.CachedOperator(basis.KindHaar, cfg.WindowLen)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +313,7 @@ func C4(cfg C4Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := cs.OMP(phi, locs, y, cfg.M/2, 1e-8)
+			res, err := cs.OMPOp(phi, locs, y, cfg.M/2, 1e-8)
 			if err != nil {
 				return nil, err
 			}
@@ -383,7 +387,10 @@ func DefaultC5() C5Config { return C5Config{Ms: []int{10, 20, 30, 45, 64}, Trial
 // from 30 of 256 accelerometer samples matches full-window classification.
 func C5(cfg C5Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	phi := basis.CachedDFT(256)
+	phi, err := basis.CachedOperator(basis.KindDFT, 256)
+	if err != nil {
+		return nil, err
+	}
 	scens := []sensor.MotionScenario{sensor.MotionIdle, sensor.MotionWalking, sensor.MotionDriving}
 	t := &Table{
 		ID:     "C5",

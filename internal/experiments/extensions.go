@@ -40,19 +40,25 @@ func DefaultA4() A4Config { return A4Config{N: 128, M: 40, K: 6, Noise: 0.02, Tr
 // and IHT — on the same noisy sparse-recovery instances.
 func A4(cfg A4Config) (*Table, error) {
 	phi := basis.CachedDCT(cfg.N)
+	op, err := basis.CachedOperator(basis.KindDCT, cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	type decoder struct {
 		name string
 		run  func(locs []int, y []float64) (*cs.Result, error)
 	}
+	// The greedy decoders run matrix-free; BPDN builds an explicit LP from
+	// the sensing matrix, so it stays on the dense path.
 	decoders := []decoder{
 		{"omp", func(locs []int, y []float64) (*cs.Result, error) {
-			return cs.OMP(phi, locs, y, cfg.K, 1e-9)
+			return cs.OMPOp(op, locs, y, cfg.K, 1e-9)
 		}},
 		{"cosamp", func(locs []int, y []float64) (*cs.Result, error) {
-			return cs.CoSaMP(phi, locs, y, cs.CoSaMPOptions{K: cfg.K})
+			return cs.CoSaMPOp(op, locs, y, cs.CoSaMPOptions{K: cfg.K})
 		}},
 		{"iht", func(locs []int, y []float64) (*cs.Result, error) {
-			return cs.IHT(phi, locs, y, cs.IHTOptions{K: cfg.K})
+			return cs.IHTOp(op, locs, y, cs.IHTOptions{K: cfg.K})
 		}},
 		{"bpdn", func(locs []int, y []float64) (*cs.Result, error) {
 			return cs.BPDN(phi, locs, y, 2*cfg.Noise, 1e-6)
@@ -60,7 +66,7 @@ func A4(cfg A4Config) (*Table, error) {
 	}
 	nmse := make([][]float64, cfg.Trials)
 	failed := make([][]bool, cfg.Trials)
-	err := forEachTrial(cfg.Trials, subSeed(cfg.Seed, 4), func(trial int, rng *rand.Rand) error {
+	err = forEachTrial(cfg.Trials, subSeed(cfg.Seed, 4), func(trial int, rng *rand.Rand) error {
 		nmse[trial] = make([]float64, len(decoders))
 		failed[trial] = make([]bool, len(decoders))
 		alpha := make([]float64, cfg.N)
@@ -141,7 +147,7 @@ func DefaultA5() A5Config {
 // temporal⊗spatial basis at the same per-step budget.
 func A5(cfg A5Config) (*Table, error) {
 	proto := field.New(cfg.W, cfg.H)
-	phi, err := proto.Basis2D(basis.KindDCT)
+	phi, err := proto.Operator2D(basis.KindDCT)
 	if err != nil {
 		return nil, err
 	}

@@ -246,7 +246,10 @@ func Fig4(cfg Fig4Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	phi := basis.CachedDFT(cfg.N)
+	phi, err := basis.CachedOperator(basis.KindDFT, cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "F4",
 		Title:  fmt.Sprintf("Reconstruction accuracy vs #measurements (N=%d accelerometer window)", cfg.N),
@@ -274,7 +277,7 @@ func Fig4(cfg Fig4Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			res, err := cs.OMP(phi, locs, y, cfg.K, 1e-9)
+			res, err := cs.OMPOp(phi, locs, y, cfg.K, 1e-9)
 			if err != nil {
 				return err
 			}
@@ -401,6 +404,10 @@ func DefaultFig6() Fig6Config { return Fig6Config{N: 256, M: 64, K: 8, Trials: 1
 func Fig6(cfg Fig6Config) (*Table, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	phi := basis.CachedDCT(cfg.N)
+	op, err := basis.CachedOperator(basis.KindDCT, cfg.N)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "F6",
 		Title:  "CHS algorithm: convergence and OLS vs GLS under heterogeneous sensors",
@@ -433,11 +440,11 @@ func Fig6(cfg Fig6Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ols, err := cs.CHS(phi, locs, y, cs.CHSOptions{MaxSupport: cfg.K, Tol: 1e-6})
+		ols, err := cs.CHSOp(op, locs, y, cs.CHSOptions{MaxSupport: cfg.K, Tol: 1e-6})
 		if err != nil {
 			return nil, err
 		}
-		gls, err := cs.CHS(phi, locs, y, cs.CHSOptions{
+		gls, err := cs.CHSOp(op, locs, y, cs.CHSOptions{
 			MaxSupport: cfg.K, Tol: 1e-6, V: cs.NoiseCovariance(sigmas, 1e-4),
 		})
 		if err != nil {

@@ -1,0 +1,145 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := Naive(re, im)
+		p.Forward(re, im)
+		if d := maxAbsDiff(re, wantRe); d > 1e-9 {
+			t.Errorf("n=%d: forward re deviates by %.3g", n, d)
+		}
+		if d := maxAbsDiff(im, wantIm); d > 1e-9 {
+			t.Errorf("n=%d: forward im deviates by %.3g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 512} {
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		origRe := append([]float64(nil), re...)
+		origIm := append([]float64(nil), im...)
+		p.Forward(re, im)
+		p.Inverse(re, im)
+		if d := maxAbsDiff(re, origRe); d > 1e-10 {
+			t.Errorf("n=%d: round-trip re deviates by %.3g", n, d)
+		}
+		if d := maxAbsDiff(im, origIm); d > 1e-10 {
+			t.Errorf("n=%d: round-trip im deviates by %.3g", n, d)
+		}
+	}
+}
+
+func TestNonPow2Rejected(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) accepted a non-power-of-two size", n)
+		}
+	}
+}
+
+// TestDeterministic pins the fixed-butterfly-order contract: two transforms
+// of the same input must agree bit for bit, including across plan instances.
+func TestDeterministic(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(3))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+	}
+	run := func(p *Plan) ([]float64, []float64) {
+		r := append([]float64(nil), re...)
+		q := append([]float64(nil), im...)
+		p.Forward(r, q)
+		return r, q
+	}
+	shared, err := PlanFor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, i1 := run(shared)
+	r2, i2 := run(fresh)
+	for i := range r1 {
+		if r1[i] != r2[i] || i1[i] != i2[i] {
+			t.Fatalf("bin %d differs between plan instances: (%v,%v) vs (%v,%v)", i, r1[i], i1[i], r2[i], i2[i])
+		}
+	}
+}
+
+// TestTransformAllocs pins the allocation-free butterfly: a transform on
+// prepared buffers must not allocate at all.
+func TestTransformAllocs(t *testing.T) {
+	p, err := PlanFor(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := make([]float64, 512)
+	im := make([]float64, 512)
+	re[3] = 1
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Forward(re, im)
+		p.Inverse(re, im)
+	})
+	if allocs != 0 {
+		t.Fatalf("transform allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	p, err := PlanFor(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	re := make([]float64, 1024)
+	im := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(4))
+	for i := range re {
+		re[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(re, im)
+	}
+}

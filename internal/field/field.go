@@ -77,6 +77,14 @@ func (f *Field) Basis2D(kind basis.Kind) (*mat.Matrix, error) {
 	return basis.Cached2D(kind, f.H, f.W)
 }
 
+// Operator2D returns the matrix-free separable 2-D basis operator for this
+// field's shape — the fast-path counterpart of Basis2D. The Kronecker
+// product is never materialized; the operator is memoized per (kind, H, W)
+// and safe for concurrent use.
+func (f *Field) Operator2D(kind basis.Kind) (basis.Operator, error) {
+	return basis.CachedOperator2D(kind, f.H, f.W)
+}
+
 // MaxLoc returns the (row, col, value) of the field maximum.
 func (f *Field) MaxLoc() (r, c int, v float64) {
 	v = math.Inf(-1)
@@ -101,7 +109,7 @@ func GenSparseInBasis(rng *rand.Rand, w, h, k int, kind basis.Kind, minAmp, maxA
 	if k > n {
 		return nil, nil, fmt.Errorf("field: sparsity %d exceeds grid size %d", k, n)
 	}
-	phi, err := f.Basis2D(kind)
+	op, err := f.Operator2D(kind)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,11 +122,7 @@ func GenSparseInBasis(rng *rand.Rand, w, h, k int, kind basis.Kind, minAmp, maxA
 		}
 		alpha[j] = amp
 	}
-	x, err := basis.Synthesize(phi, alpha)
-	if err != nil {
-		return nil, nil, err
-	}
-	copy(f.Data, x)
+	op.Apply(f.Data, alpha)
 	return f, support, nil
 }
 
@@ -250,11 +254,11 @@ func Insert(f *Field, z Zone, sub *Field) error {
 // of the sub-field. This is the "local spatio-temporal sparsity" the
 // hierarchical scheme keys its per-zone measurement count on.
 func LocalSparsity(sub *Field, energyFrac float64) (int, error) {
-	phi, err := sub.Basis2D(basis.KindDCT)
+	op, err := sub.Operator2D(basis.KindDCT)
 	if err != nil {
 		return 0, err
 	}
-	alpha, err := basis.Analyze(phi, sub.Vector())
+	alpha, err := basis.OpAnalyze(op, sub.Vector())
 	if err != nil {
 		return 0, err
 	}

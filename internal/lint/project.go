@@ -12,6 +12,7 @@ var DeterministicPkgs = []string{
 	"repro/internal/cs",
 	"repro/internal/mat",
 	"repro/internal/basis",
+	"repro/internal/fft",
 	"repro/internal/field",
 	"repro/internal/experiments",
 	"repro/internal/cloud",
@@ -30,6 +31,8 @@ var HotPathPkgs = []string{
 	"repro/internal/core",
 	"repro/internal/cs",
 	"repro/internal/mat",
+	"repro/internal/basis",
+	"repro/internal/fft",
 }
 
 // ErrcheckScope: every library package. cmd/ and examples/ are package

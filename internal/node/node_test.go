@@ -218,7 +218,11 @@ func TestSenseContextCompressiveSavesEnergy(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp := mk()
-	pipe, err := contextproc.NewPipeline(basis.DFT(256), 30, 8)
+	dft, err := basis.OperatorFor(basis.KindDFT, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := contextproc.NewPipeline(dft, 30, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,10 +17,20 @@ trap 'rm -f "$TMP"' EXIT
 # Root-level end-to-end benches plus the decoder/kernels micro benches.
 go test -run '^$' -bench 'BenchmarkFig4ReconstructionVsM|BenchmarkEndToEndCampaign|BenchmarkFig5AdaptiveZones|BenchmarkFig6CHSAlgorithm|BenchmarkC2MeasurementBound|BenchmarkA4DecoderComparison' \
     -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+# 2-D grid decode: dense reference vs matrix-free operator at 64×64, plus
+# the 1024×1024 decode that only exists on the operator path. One decode of
+# the 1024² grid is the datum — it runs ~0.5 s, so iterations are pinned low.
+go test -run '^$' -bench 'BenchmarkDecode64GridDense|BenchmarkDecode64GridOperator' \
+    -benchmem -benchtime "${GRID_BENCHTIME:-20x}" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkDecode1024Grid' \
+    -benchmem -benchtime "${GRID1024_BENCHTIME:-1x}" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkOMP256M30|BenchmarkIHT256|BenchmarkCoSaMP256' \
     -benchmem -benchtime "$BENCHTIME" ./internal/cs/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMul64|BenchmarkQR128x32' \
     -benchmem -benchtime "$BENCHTIME" ./internal/mat/ | tee -a "$TMP"
+# Fast-transform kernels: operator vs dense synthesize/analyze pairs.
+go test -run '^$' -bench 'BenchmarkOperatorDCT64|BenchmarkOperatorDCT1024|BenchmarkDenseDCT64|BenchmarkDenseDCT1024' \
+    -benchmem -benchtime "${KERNEL_BENCHTIME:-2000x}" ./internal/basis/ | tee -a "$TMP"
 # Observability overhead: the disabled path must stay ~free, the enabled
 # path cheap; a fixed large iteration count keeps sub-ns timings stable.
 go test -run '^$' -bench 'BenchmarkObsDisabledCounter|BenchmarkObsEnabledCounter' \
