@@ -371,6 +371,18 @@ type ReconstructOptions struct {
 	K        int         // sparsity budget; 0 = len(locs)/3 heuristic
 	UseGLS   bool        // weight by per-sensor noise (heterogeneous phones)
 	LearnPhi *mat.Matrix // optional prior basis overriding Basis
+
+	// SeedSupport warm-starts the CHS decode from a previous round's
+	// recovered support (Reconstruction.Result.Support): on a
+	// slowly-varying field the solver skips the greedy search and pays
+	// one residual check plus the final solve. Invalid or rank-deficient
+	// seeds fall back to a cold decode, so a stale seed can never corrupt
+	// a reconstruction.
+	SeedSupport []int
+	// SeedRelTol rejects the seed when the post-seed residual exceeds
+	// SeedRelTol·‖y‖ — the guard against warm-starting across a field
+	// that changed too much. 0 keeps any independent seed.
+	SeedRelTol float64
 }
 
 // Reconstruction is a completed regional field estimate.
@@ -426,7 +438,10 @@ func (br *Broker) ReconstructFrom(g *GatherResult, opts ReconstructOptions) (*Re
 			k = 1
 		}
 	}
-	chsOpts := cs.CHSOptions{MaxSupport: k, Tol: 1e-8, PerIter: 1}
+	chsOpts := cs.CHSOptions{
+		MaxSupport: k, Tol: 1e-8, PerIter: 1,
+		SeedSupport: opts.SeedSupport, SeedRelTol: opts.SeedRelTol,
+	}
 	if opts.UseGLS {
 		chsOpts.V = cs.NoiseCovariance(g.Sigmas, 1e-4)
 	}

@@ -378,6 +378,18 @@ func (pc *PublicCloud) Assemble(kind sensor.Kind, plan BudgetPlan, opts broker.R
 // whose failure was not itself the cancellation — so the caller sees the
 // same error at any GOMAXPROCS.
 func (pc *PublicCloud) AssembleContext(ctx context.Context, kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions) (*field.Field, map[int]*ZoneReport, error) {
+	return pc.AssembleSeededContext(ctx, kind, plan, opts, nil)
+}
+
+// AssembleSeededContext is AssembleContext with per-zone warm-start
+// seeds: seeds maps zone ID → the support recovered for that zone in a
+// previous assembly (ZoneReport.Reconstruction.Result.Support). Each
+// zone's decode warm-starts from its own seed; zones absent from the map
+// decode cold. This is the streaming pipeline's window-to-window fast
+// path — on a slowly-varying field an unchanged zone support skips the
+// greedy search entirely. The seeds map is read-only here, so one map can
+// safely serve the concurrent zone fan-out.
+func (pc *PublicCloud) AssembleSeededContext(ctx context.Context, kind sensor.Kind, plan BudgetPlan, opts broker.ReconstructOptions, seeds map[int][]int) (*field.Field, map[int]*ZoneReport, error) {
 	sp := obs.StartSpan("cloud.assemble")
 	sp.Label("zones", fmt.Sprint(len(pc.LCs)))
 	defer sp.Finish()
@@ -402,7 +414,9 @@ func (pc *PublicCloud) AssembleContext(ctx context.Context, kind sensor.Kind, pl
 			cancel()
 			return
 		}
-		rec, err := lc.ReconstructContext(zctx, kind, m, opts)
+		zOpts := opts
+		zOpts.SeedSupport = seeds[z.ID] // nil for unseeded zones → cold decode
+		rec, err := lc.ReconstructContext(zctx, kind, m, zOpts)
 		if err != nil {
 			outs[i].err = fmt.Errorf("cloud: zone %d: %w", z.ID, err)
 			cancel()

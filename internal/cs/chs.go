@@ -51,6 +51,24 @@ type CHSOptions struct {
 	V *mat.Matrix
 	// Interp is the Υ operator (default ZeroFill).
 	Interp Interpolator
+	// SeedSupport warm-starts the decode from a previously recovered
+	// support (Result.Support, in admission order): the seed columns are
+	// folded into the incremental-QR factors and the sensor residual
+	// deflated before the first greedy iteration, so a support that still
+	// explains the measurements costs one residual check plus the final
+	// solve instead of a full decode. A seed whose support and admission
+	// order match what the cold decode would have found yields a
+	// bit-identical Alpha/Support/Xhat/Residual (only Iterations differs):
+	// corrT scans never touch the QR factors or the residual, so skipping
+	// them changes no arithmetic. Invalid seeds (out-of-range, duplicate,
+	// longer than MaxSupport) and rank-deficient seeds are discarded and
+	// the decode restarts cold — a stale seed can cost, never corrupt.
+	SeedSupport []int
+	// SeedRelTol guards warm starts against field drift: when > 0 and the
+	// post-seed residual norm exceeds SeedRelTol·‖y‖, the seed is
+	// discarded and the decode restarts cold. 0 keeps any seed whose
+	// columns are linearly independent (the greedy loop still refines it).
+	SeedRelTol float64
 }
 
 // CHS runs the paper's Fig. 6 "Compressive Heterogeneous Sensing"
@@ -136,6 +154,28 @@ func chsDict(d dict, locs []int, y []float64, opts CHSOptions) (*Result, error) 
 	alphaR := make([]float64, n)
 	col := make([]float64, d.rows())
 	iters := 0
+
+	// Warm start: fold the seed support into the factors before the first
+	// greedy iteration. When the seeded support still explains the
+	// measurements (residual under the seed tolerance, or the support cap
+	// already reached), the loop below exits immediately and the decode
+	// costs one residual check plus the final solve.
+	if validSeed(opts.SeedSupport, n, opts.MaxSupport) {
+		var ok bool
+		support, ok, err = seedFactors(d, qr, resid, col, support, inSupport, opts.SeedSupport)
+		if err != nil {
+			return nil, err
+		}
+		if ok && opts.SeedRelTol > 0 && mat.Norm2(resid) > opts.SeedRelTol*mat.Norm2(y) {
+			ok = false // the field drifted past what the old support explains
+		}
+		if !ok {
+			qr, resid, support, err = coldRestart(d, y, opts.MaxSupport, support, inSupport)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 
 outer:
 	for iters < opts.MaxIter && len(support) < opts.MaxSupport {

@@ -32,8 +32,13 @@ var (
 
 // Result is the outcome of a sparse recovery.
 type Result struct {
-	Alpha      []float64 // recovered coefficients, length N (zero off support)
-	Support    []int     // indices of the recovered nonzero coefficients, J
+	Alpha []float64 // recovered coefficients, length N (zero off support)
+	// Support holds the indices of the recovered nonzero coefficients J,
+	// in admission order. Feeding it back as the seed of the next decode
+	// (OMPSeeded / CHSOptions.SeedSupport) warm-starts the solver: for an
+	// unchanged field the warm decode is bit-identical to a cold one and
+	// skips the greedy search entirely.
+	Support    []int
 	Xhat       []float64 // reconstructed signal Φ·Alpha, length N
 	Residual   float64   // ‖x_S − Φ̃_K α_K‖₂ at the sensor locations
 	Iterations int
@@ -50,25 +55,39 @@ type Result struct {
 // submatrix copy or full refactorization. The least-squares coefficients
 // are solved once, at the end, from the accumulated factors.
 func OMP(phi *mat.Matrix, locs []int, y []float64, k int, tol float64) (*Result, error) {
+	return OMPSeeded(phi, locs, y, k, tol, nil)
+}
+
+// OMPSeeded is OMP warm-started from a previously recovered support (see
+// Result.Support). Seed columns are folded into the incremental-QR factors
+// before the first greedy iteration; an unchanged field then costs one
+// residual check plus the final solve and is bit-identical to the cold
+// decode. Invalid or rank-deficient seeds fall back to a cold start.
+func OMPSeeded(phi *mat.Matrix, locs []int, y []float64, k int, tol float64, seed []int) (*Result, error) {
 	d, err := denseDictFor(phi, locs)
 	if err != nil {
 		return nil, err
 	}
-	return ompDict(d, y, k, tol)
+	return ompDict(d, y, k, tol, seed)
 }
 
 // OMPOp is OMP through a matrix-free basis operator: correlations and
 // column extractions run in O(n log n) scatter/gather applies instead of
 // dense M×N passes. A *basis.MatrixOp routes to the dense reference kernel.
 func OMPOp(op basis.Operator, locs []int, y []float64, k int, tol float64) (*Result, error) {
+	return OMPSeededOp(op, locs, y, k, tol, nil)
+}
+
+// OMPSeededOp is OMPSeeded through a matrix-free operator.
+func OMPSeededOp(op basis.Operator, locs []int, y []float64, k int, tol float64, seed []int) (*Result, error) {
 	d, err := dictFor(op, locs)
 	if err != nil {
 		return nil, err
 	}
-	return ompDict(d, y, k, tol)
+	return ompDict(d, y, k, tol, seed)
 }
 
-func ompDict(d dict, y []float64, k int, tol float64) (*Result, error) {
+func ompDict(d dict, y []float64, k int, tol float64, seed []int) (*Result, error) {
 	m, n := d.rows(), d.cols()
 	if len(y) != m {
 		return nil, fmt.Errorf("cs: %d measurements for %d locations", len(y), m)
@@ -78,11 +97,6 @@ func ompDict(d dict, y []float64, k int, tol float64) (*Result, error) {
 	}
 	if k > m {
 		k = m // cannot identify more atoms than measurements
-	}
-	// Column norms for normalized correlation.
-	colNorm := make([]float64, n)
-	if err := d.colNorms(colNorm); err != nil {
-		return nil, err
 	}
 	qr, err := mat.NewIncrementalQR(m, k)
 	if err != nil {
@@ -94,7 +108,37 @@ func ompDict(d dict, y []float64, k int, tol float64) (*Result, error) {
 	support := make([]int, 0, k)
 	inSupport := make([]bool, n)
 	iters := 0
+	// Warm start: replay the seed's Append/Deflate sequence before the
+	// first correlation scan. A seed that fills the support (or already
+	// drives the residual under tol) skips the scans — and the column-norm
+	// pass below — entirely.
+	if validSeed(seed, n, k) {
+		var ok bool
+		support, ok, err = seedFactors(d, qr, resid, col, support, inSupport, seed)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			qr, resid, support, err = coldRestart(d, y, k, support, inSupport)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Column norms for normalized correlation, computed lazily before the
+	// first scan (values are independent of when they are computed, so the
+	// cold decode is unchanged arithmetic in the original order).
+	var colNorm []float64
 	for len(support) < k {
+		if mat.Norm2(resid) <= tol && len(support) > 0 {
+			break
+		}
+		if colNorm == nil {
+			colNorm = make([]float64, n)
+			if err := d.colNorms(colNorm); err != nil {
+				return nil, err
+			}
+		}
 		iters++
 		// Correlate residual with every column in one dictionary pass.
 		if err := d.corrT(corr, resid); err != nil {

@@ -33,6 +33,9 @@ var HotPathPkgs = []string{
 	"repro/internal/mat",
 	"repro/internal/basis",
 	"repro/internal/fft",
+	"repro/internal/stream",
+	"repro/internal/snapshot",
+	"repro/internal/serve",
 }
 
 // ErrcheckScope: every library package. cmd/ and examples/ are package
@@ -62,6 +65,9 @@ var CtxBlocking = map[string]string{
 	"(*repro/internal/broker.Broker).Gather":       "Broker.GatherContext",
 	"(*repro/internal/cloud.LocalCloud).Gather":    "LocalCloud.GatherContext",
 	"(*repro/internal/cloud.PublicCloud).Assemble": "PublicCloud.AssembleContext",
+	"(*repro/internal/stream.Pipeline).Step":       "Pipeline.StepContext",
+	"(*repro/internal/stream.Pipeline).Run":        "Pipeline.RunContext",
+	"(*repro/internal/snapshot.Registry).Wait":     "Registry.WaitContext",
 }
 
 // ProjectAnalyzers returns the full sdlint analyzer suite with the

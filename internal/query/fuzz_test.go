@@ -1,0 +1,64 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile pins the error-never-panic contract of the query language:
+// arbitrary input must either compile or return an error — the lexer and
+// recursive-descent parser must not panic, hang, or accept trailing
+// garbage. Whatever compiles must also evaluate without panicking under
+// representative environments (including type-mismatched and missing
+// fields) and recompile from its own Source.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"temp > 30 && zone == 2",
+		"activity == 'driving' || (stress >= 0.7 && indoor)",
+		"!(a < 1) && b != 'x'",
+		"value >= 70 && col < 4",
+		"zone == 0",
+		"((((x))))",
+		"a == b == c",
+		"1 < 2 < 3",
+		"'unterminated",
+		"&& value",
+		"value >",
+		"(value > 1",
+		"value > 1)",
+		"a ! b",
+		"",
+		"   ",
+		"🌡 > 30",
+		"value > 1e308 && value < -1e308",
+		"a\x00b",
+		strings.Repeat("(", 100) + "x" + strings.Repeat(")", 100),
+		strings.Repeat("!", 500) + "true",
+		"a && " + strings.Repeat("b || ", 50) + "c",
+	} {
+		f.Add(seed)
+	}
+	envs := []Env{
+		{},
+		{"value": 7.5, "row": 1, "col": 2, "zone": 0},
+		{"temp": 30.5, "indoor": true, "activity": "walking", "stress": 0.2, "a": 1, "b": "x", "c": false, "x": 0.0, "true": true},
+		{"value": "not-a-number", "zone": 1.5, "indoor": "yes"},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := Compile(src)
+		if err != nil {
+			return // rejected input: error is the contract, panic is the bug
+		}
+		for _, env := range envs {
+			if _, err := flt.Eval(env); err != nil {
+				continue // type/missing-field errors are fine; panics are not
+			}
+		}
+		if flt.Source() != src {
+			t.Fatalf("Source() = %q, want %q", flt.Source(), src)
+		}
+		if _, err := Compile(flt.Source()); err != nil {
+			t.Fatalf("accepted input does not recompile: %q: %v", src, err)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/snapshot"
+)
+
+func benchServer(b *testing.B) (*Server, *snapshot.Registry) {
+	b.Helper()
+	reg := snapshot.NewRegistry(4)
+	s, err := New(reg, 32, 32, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := field.New(32, 32)
+	for i := range f.Data {
+		f.Data[i] = float64(i % 97)
+	}
+	if _, err := reg.Publish(&snapshot.Snapshot{Step: 1, Field: f}); err != nil {
+		b.Fatal(err)
+	}
+	return s, reg
+}
+
+// BenchmarkQueryServe is the single-threaded mixed-query baseline.
+func BenchmarkQueryServe(b *testing.B) {
+	s, _ := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 4 {
+		case 0, 1:
+			if _, err := s.Point(i%32, (i/32)%32); err != nil {
+				b.Fatal(err)
+			}
+		case 2:
+			if _, err := s.Range(Rect{0, 0, 8, 8}, "value > 50"); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			if _, err := s.Aggregate(i%4, AggMean, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkQueryServeParallel pins the lock-free claim for the read
+// path: point queries from all procs against a server whose snapshot is
+// being swapped underneath. With no mutex on the path, throughput scales
+// with GOMAXPROCS (run with -cpu 1,4 to compare).
+func BenchmarkQueryServeParallel(b *testing.B) {
+	s, reg := benchServer(b)
+	stop := make(chan struct{})
+	go func() { // background publisher keeps the swap pressure on
+		f := field.New(32, 32)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := reg.Publish(&snapshot.Snapshot{Step: i, Field: f}); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(stop)
+	var sink atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i, local := 0, 0.0
+		for pb.Next() {
+			p, err := s.Point(i%32, (i/32)%32)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			local += p.Value
+			i++
+		}
+		sink.Add(uint64(local))
+	})
+}

@@ -1,0 +1,391 @@
+// Package serve answers concurrent field queries against the latest
+// versioned snapshot: point reads, rectangular range scans with
+// predicate pushdown through the query language, and per-zone
+// aggregates. The read path is lock-free — one atomic load fetches the
+// snapshot, per-zone aggregate caches are copy-on-write behind atomic
+// pointers, and compiled filters are memoized the same way — so query
+// throughput scales with cores while the streaming pipeline swaps
+// snapshots underneath.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/snapshot"
+)
+
+// Serving observability handles (no-ops until obs.Enable). These are
+// explicit histograms rather than spans: the span recorder serializes on
+// a mutex, which would put a lock on the query hot path.
+var (
+	obsPointMs   = obs.GetHistogram("serve.query.point.ms", obs.LatencyBuckets)
+	obsRangeMs   = obs.GetHistogram("serve.query.range.ms", obs.LatencyBuckets)
+	obsAggMs     = obs.GetHistogram("serve.query.agg.ms", obs.LatencyBuckets)
+	obsQueries   = obs.GetCounter("serve.queries")
+	obsQueryErrs = obs.GetCounter("serve.query.errors")
+	obsCacheHit  = obs.GetCounter("serve.cache.hits")
+	obsCacheMiss = obs.GetCounter("serve.cache.misses")
+)
+
+// AggOp is an aggregate operator.
+type AggOp string
+
+const (
+	AggSum   AggOp = "sum"
+	AggMean  AggOp = "mean"
+	AggMin   AggOp = "min"
+	AggMax   AggOp = "max"
+	AggCount AggOp = "count"
+)
+
+// Rect is a half-open cell rectangle [Row0,Row1)×[Col0,Col1).
+type Rect struct {
+	Row0, Col0, Row1, Col1 int
+}
+
+// Cell is one matched cell of a range query.
+type Cell struct {
+	Row   int     `json:"row"`
+	Col   int     `json:"col"`
+	Zone  int     `json:"zone"`
+	Value float64 `json:"value"`
+}
+
+// PointResult is a point read plus the snapshot version that answered it.
+type PointResult struct {
+	Value   float64 `json:"value"`
+	Zone    int     `json:"zone"`
+	Version uint64  `json:"version"`
+	Step    int     `json:"step"`
+	T       float64 `json:"t"`
+}
+
+// RangeResult is a predicate-filtered range scan.
+type RangeResult struct {
+	Cells   []Cell  `json:"cells"`
+	Scanned int     `json:"scanned"`
+	Version uint64  `json:"version"`
+	T       float64 `json:"t"`
+}
+
+// AggResult is one aggregate over a zone (or the whole field).
+type AggResult struct {
+	Op      AggOp   `json:"op"`
+	Zone    int     `json:"zone"` // -1 = whole field
+	Value   float64 `json:"value"`
+	Cells   int     `json:"cells"` // cells that passed the predicate
+	Version uint64  `json:"version"`
+	T       float64 `json:"t"`
+}
+
+// zoneCache is an immutable aggregate cache for one zone at one snapshot
+// version. Lookups copy-on-write: a new cache value replaces the pointer
+// wholesale, so readers never see a map mid-update.
+type zoneCache struct {
+	version uint64
+	entries map[string]AggResult
+}
+
+// filterCache memoizes compiled predicates, copy-on-write like zoneCache
+// but version-independent (compilation depends only on the source text).
+type filterCache struct {
+	entries map[string]*query.Filter
+}
+
+// Server answers queries against the registry's latest snapshot.
+type Server struct {
+	reg *snapshot.Registry
+
+	// Geometry, immutable after New: zoneRows×zoneCols zones of
+	// zoneH×zoneW cells over a fieldH×fieldW grid (row-major zone IDs,
+	// matching field.Partition).
+	fieldW, fieldH     int
+	zoneRows, zoneCols int
+	zoneW, zoneH       int
+
+	caches  []atomic.Pointer[zoneCache] // one per zone, index = zone ID
+	filters atomic.Pointer[filterCache]
+
+	// maxCacheEntries bounds each zone's aggregate cache; a full cache
+	// stops admitting new keys until the next snapshot resets it.
+	maxCacheEntries int
+}
+
+// New binds a server to a registry over a fieldW×fieldH grid split into
+// zoneRows×zoneCols zones. It subscribes to the registry so every
+// snapshot swap invalidates the aggregate caches.
+func New(reg *snapshot.Registry, fieldW, fieldH, zoneRows, zoneCols int) (*Server, error) {
+	if reg == nil {
+		return nil, errors.New("serve: nil registry")
+	}
+	if fieldW <= 0 || fieldH <= 0 || zoneRows <= 0 || zoneCols <= 0 {
+		return nil, errors.New("serve: non-positive geometry")
+	}
+	if fieldH%zoneRows != 0 || fieldW%zoneCols != 0 {
+		return nil, fmt.Errorf("serve: %dx%d field not divisible into %dx%d zones",
+			fieldH, fieldW, zoneRows, zoneCols)
+	}
+	s := &Server{
+		reg:    reg,
+		fieldW: fieldW, fieldH: fieldH,
+		zoneRows: zoneRows, zoneCols: zoneCols,
+		zoneW: fieldW / zoneCols, zoneH: fieldH / zoneRows,
+		caches:          make([]atomic.Pointer[zoneCache], zoneRows*zoneCols),
+		maxCacheEntries: 256,
+	}
+	s.filters.Store(&filterCache{entries: map[string]*query.Filter{}})
+	reg.Subscribe(func(snap *snapshot.Snapshot) {
+		for i := range s.caches {
+			s.caches[i].Store(&zoneCache{version: snap.Version, entries: map[string]AggResult{}})
+		}
+	})
+	return s, nil
+}
+
+// ZoneOf returns the zone ID owning cell (r, c).
+func (s *Server) ZoneOf(r, c int) int {
+	return (r/s.zoneH)*s.zoneCols + c/s.zoneW
+}
+
+// latest returns the current snapshot or ErrNoSnapshot before the first
+// publish.
+func (s *Server) latest() (*snapshot.Snapshot, error) {
+	snap := s.reg.Latest()
+	if snap == nil {
+		return nil, snapshot.ErrNoSnapshot
+	}
+	return snap, nil
+}
+
+// Point reads one cell from the latest snapshot.
+func (s *Server) Point(r, c int) (PointResult, error) {
+	var begin time.Time
+	if obs.Enabled() {
+		begin = time.Now()
+	}
+	obsQueries.Inc()
+	if r < 0 || r >= s.fieldH || c < 0 || c >= s.fieldW {
+		obsQueryErrs.Inc()
+		return PointResult{}, fmt.Errorf("serve: point (%d,%d) outside %dx%d field", r, c, s.fieldH, s.fieldW)
+	}
+	snap, err := s.latest()
+	if err != nil {
+		obsQueryErrs.Inc()
+		return PointResult{}, err
+	}
+	res := PointResult{
+		Value: snap.Field.At(r, c), Zone: s.ZoneOf(r, c),
+		Version: snap.Version, Step: snap.Step, T: snap.T,
+	}
+	if obs.Enabled() {
+		obsPointMs.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+	}
+	return res, nil
+}
+
+// compile memoizes predicate compilation in the copy-on-write filter
+// cache. Concurrent first compilations of the same source race benignly:
+// one of the identical filters wins the pointer swap.
+func (s *Server) compile(src string) (*query.Filter, error) {
+	if src == "" {
+		return nil, nil
+	}
+	fc := s.filters.Load()
+	if f, ok := fc.entries[src]; ok {
+		obsCacheHit.Inc()
+		return f, nil
+	}
+	f, err := query.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	obsCacheMiss.Inc()
+	if len(fc.entries) < 1024 {
+		next := make(map[string]*query.Filter, len(fc.entries)+1)
+		for k, v := range fc.entries {
+			next[k] = v
+		}
+		next[src] = f
+		s.filters.Store(&filterCache{entries: next})
+	}
+	return f, nil
+}
+
+// cellEnv builds the predicate environment for one cell. The query
+// language sees value, row, col, and zone.
+func cellEnv(env query.Env, v float64, r, c, zone int) query.Env {
+	env["value"] = v
+	env["row"] = r
+	env["col"] = c
+	env["zone"] = zone
+	return env
+}
+
+// Range scans a rectangle of the latest snapshot, keeping cells that
+// match the predicate (empty filterSrc keeps everything). The predicate
+// sees value, row, col, and zone.
+func (s *Server) Range(rect Rect, filterSrc string) (RangeResult, error) {
+	var begin time.Time
+	if obs.Enabled() {
+		begin = time.Now()
+	}
+	obsQueries.Inc()
+	if rect.Row0 < 0 || rect.Col0 < 0 || rect.Row1 > s.fieldH || rect.Col1 > s.fieldW ||
+		rect.Row0 >= rect.Row1 || rect.Col0 >= rect.Col1 {
+		obsQueryErrs.Inc()
+		return RangeResult{}, fmt.Errorf("serve: bad rectangle %+v for %dx%d field", rect, s.fieldH, s.fieldW)
+	}
+	snap, err := s.latest()
+	if err != nil {
+		obsQueryErrs.Inc()
+		return RangeResult{}, err
+	}
+	f, err := s.compile(filterSrc)
+	if err != nil {
+		obsQueryErrs.Inc()
+		return RangeResult{}, err
+	}
+	res := RangeResult{Version: snap.Version, T: snap.T}
+	env := query.Env{}
+	for r := rect.Row0; r < rect.Row1; r++ {
+		for c := rect.Col0; c < rect.Col1; c++ {
+			res.Scanned++
+			v := snap.Field.At(r, c)
+			zone := s.ZoneOf(r, c)
+			if f != nil {
+				ok, ferr := f.Eval(cellEnv(env, v, r, c, zone))
+				if ferr != nil {
+					obsQueryErrs.Inc()
+					return RangeResult{}, ferr
+				}
+				if !ok {
+					continue
+				}
+			}
+			res.Cells = append(res.Cells, Cell{Row: r, Col: c, Zone: zone, Value: v})
+		}
+	}
+	if obs.Enabled() {
+		obsRangeMs.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+	}
+	return res, nil
+}
+
+// Aggregate folds one zone of the latest snapshot (zone -1 = the whole
+// field) under the predicate. Results are cached per (op, filter) in the
+// zone's copy-on-write cache and invalidated on snapshot swap; a lost
+// insertion race costs one recomputation, never a wrong answer.
+func (s *Server) Aggregate(zone int, op AggOp, filterSrc string) (AggResult, error) {
+	var begin time.Time
+	if obs.Enabled() {
+		begin = time.Now()
+	}
+	obsQueries.Inc()
+	snap, err := s.latest()
+	if err != nil {
+		obsQueryErrs.Inc()
+		return AggResult{}, err
+	}
+	var rect Rect
+	switch {
+	case zone == -1:
+		rect = Rect{0, 0, s.fieldH, s.fieldW}
+	case zone >= 0 && zone < len(s.caches):
+		zr, zc := zone/s.zoneCols, zone%s.zoneCols
+		rect = Rect{zr * s.zoneH, zc * s.zoneW, (zr + 1) * s.zoneH, (zc + 1) * s.zoneW}
+	default:
+		obsQueryErrs.Inc()
+		return AggResult{}, fmt.Errorf("serve: zone %d outside [0,%d)", zone, len(s.caches))
+	}
+	key := string(op) + "\x00" + filterSrc
+	var cache *zoneCache
+	if zone >= 0 {
+		cache = s.caches[zone].Load()
+		if cache != nil && cache.version == snap.Version {
+			if hit, ok := cache.entries[key]; ok {
+				obsCacheHit.Inc()
+				if obs.Enabled() {
+					obsAggMs.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+				}
+				return hit, nil
+			}
+		}
+		obsCacheMiss.Inc()
+	}
+
+	f, err := s.compile(filterSrc)
+	if err != nil {
+		obsQueryErrs.Inc()
+		return AggResult{}, err
+	}
+	res := AggResult{Op: op, Zone: zone, Version: snap.Version, T: snap.T}
+	sum, minV, maxV := 0.0, math.Inf(1), math.Inf(-1)
+	env := query.Env{}
+	for r := rect.Row0; r < rect.Row1; r++ {
+		for c := rect.Col0; c < rect.Col1; c++ {
+			v := snap.Field.At(r, c)
+			if f != nil {
+				ok, ferr := f.Eval(cellEnv(env, v, r, c, s.ZoneOf(r, c)))
+				if ferr != nil {
+					obsQueryErrs.Inc()
+					return AggResult{}, ferr
+				}
+				if !ok {
+					continue
+				}
+			}
+			res.Cells++
+			sum += v
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	switch op {
+	case AggSum:
+		res.Value = sum
+	case AggMean:
+		if res.Cells > 0 {
+			res.Value = sum / float64(res.Cells)
+		}
+	case AggMin:
+		if res.Cells > 0 {
+			res.Value = minV
+		}
+	case AggMax:
+		if res.Cells > 0 {
+			res.Value = maxV
+		}
+	case AggCount:
+		res.Value = float64(res.Cells)
+	default:
+		obsQueryErrs.Inc()
+		return AggResult{}, fmt.Errorf("serve: unknown aggregate op %q", op)
+	}
+
+	if zone >= 0 {
+		// Copy-on-write insert against the version we answered from. If a
+		// newer snapshot reset the cache meanwhile, skip: caching a stale
+		// version would serve old data as current.
+		cur := s.caches[zone].Load()
+		if (cur == nil || cur.version == snap.Version) && (cur == nil || len(cur.entries) < s.maxCacheEntries) {
+			next := &zoneCache{version: snap.Version, entries: map[string]AggResult{key: res}}
+			if cur != nil {
+				for k, v := range cur.entries {
+					next.entries[k] = v
+				}
+				next.entries[key] = res
+			}
+			s.caches[zone].CompareAndSwap(cur, next)
+		}
+	}
+	if obs.Enabled() {
+		obsAggMs.Observe(float64(time.Since(begin)) / float64(time.Millisecond))
+	}
+	return res, nil
+}

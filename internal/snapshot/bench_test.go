@@ -1,0 +1,59 @@
+package snapshot
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/sensor"
+)
+
+// BenchmarkSnapshotSwap measures the publish path: version assignment,
+// retention, and the atomic pointer swap.
+func BenchmarkSnapshotSwap(b *testing.B) {
+	r := NewRegistry(8)
+	f := field.New(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Publish(&Snapshot{Step: i, Kind: sensor.Temperature, Field: f}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLatestParallel pins the lock-free claim: concurrent
+// Latest calls against a registry being swapped must not contend on any
+// mutex. Run with -cpu 4 (or higher) to observe scaling.
+func BenchmarkSnapshotLatestParallel(b *testing.B) {
+	r := NewRegistry(4)
+	if _, err := r.Publish(&Snapshot{Field: field.New(32, 32)}); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		f := field.New(32, 32)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := r.Publish(&Snapshot{Step: i, Field: f}); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(stop)
+	var sink atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var local uint64
+		for pb.Next() {
+			if s := r.Latest(); s != nil {
+				local += s.Version
+			}
+		}
+		sink.Add(local)
+	})
+}

@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/snapshot"
+)
+
+func benchPipeline(b *testing.B, warm bool) *Pipeline {
+	b.Helper()
+	sd, err := core.New(core.Options{
+		FieldW: 32, FieldH: 32,
+		ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 8,
+		Seed:    5,
+		Timeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sd.Close)
+	evolve := func(step int, t float64) *field.Field {
+		return field.GenPlumes(32, 32, 10, []field.Plume{
+			{Row: 8 + 0.02*t, Col: 8, Sigma: 4, Amplitude: 25},
+			{Row: 22, Col: 24 - 0.02*t, Sigma: 5, Amplitude: 18},
+		})
+	}
+	if err := sd.SetTruth(evolve(0, 0)); err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(sd, snapshot.NewRegistry(2), Config{
+		Budget: 240, WarmStart: warm, SeedRelTol: 0.5, Evolve: evolve, DT: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime one window so warm runs have a seed from the start.
+	if _, err := p.Step(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkWarmStartWindow vs BenchmarkColdStartWindow isolates the
+// warm-start win on a slowly-varying field: identical deployments and
+// budgets, only the decode seeding differs.
+func BenchmarkWarmStartWindow(b *testing.B) {
+	p := benchPipeline(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdStartWindow(b *testing.B) {
+	p := benchPipeline(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,15 @@ go test -run '^$' -bench 'BenchmarkOperatorDCT64|BenchmarkOperatorDCT1024|Benchm
 # path cheap; a fixed large iteration count keeps sub-ns timings stable.
 go test -run '^$' -bench 'BenchmarkObsDisabledCounter|BenchmarkObsEnabledCounter' \
     -benchmem -benchtime "${OBS_BENCHTIME:-2000000x}" ./internal/obs/ | tee -a "$TMP"
+# Continuous-service mode: warm vs cold window decode (the warm-start win
+# on a slowly-varying field), snapshot publish + lock-free read path, and
+# the mixed query-serving path under a live publisher.
+go test -run '^$' -bench 'BenchmarkWarmStartWindow|BenchmarkColdStartWindow' \
+    -benchmem -benchtime "${SERVICE_BENCHTIME:-20x}" ./internal/stream/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkSnapshotSwap|BenchmarkSnapshotLatestParallel' \
+    -benchmem -benchtime "${SWAP_BENCHTIME:-20000x}" ./internal/snapshot/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkQueryServe' \
+    -benchmem -benchtime "${QUERY_BENCHTIME:-20000x}" ./internal/serve/ | tee -a "$TMP"
 
 awk -v go_version="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }

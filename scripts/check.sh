@@ -48,6 +48,7 @@ go test -run '^$' -fuzz '^FuzzDecodeIHT$' -fuzztime 3s ./internal/cs
 go test -run '^$' -fuzz '^FuzzOperatorRoundTrip$' -fuzztime 3s ./internal/basis
 go test -run '^$' -fuzz '^FuzzParseFrame$' -fuzztime 3s ./internal/bus
 go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 3s ./internal/lint
+go test -run '^$' -fuzz '^FuzzCompile$' -fuzztime 3s ./internal/query
 
 echo "== go test -race =="
 GOMAXPROCS="${GOMAXPROCS:-4}" go test -race ./...
