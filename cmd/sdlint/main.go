@@ -13,6 +13,11 @@
 // on stderr is parsed by scripts/check.sh as a zero-package guard and
 // an analyzer-count gate.
 //
+// With -json the stdout report is instead one deterministic JSON
+// document (version, packages, sorted analyzer names, position-sorted
+// findings, suppressed count); exit codes and the stderr summary are
+// unchanged, so machine consumers get both the artifact and the gate.
+//
 // Debug dumps (both deterministic, sorted, to stdout, exit 0):
 //
 //	sdlint -lockgraph ./...        inferred lock-acquisition hierarchy
@@ -34,8 +39,9 @@ func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod at or above the working directory)")
 	lockgraph := flag.Bool("lockgraph", false, "dump the inferred lock-acquisition hierarchy instead of linting")
 	callgraph := flag.String("callgraph", "", "dump the call graph of the named package (import path or suffix) instead of linting")
+	jsonOut := flag.Bool("json", false, "emit the run result as one deterministic JSON document on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sdlint [-root dir] [-lockgraph] [-callgraph pkg] <packages>\n  e.g.: sdlint ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: sdlint [-root dir] [-json] [-lockgraph] [-callgraph pkg] <packages>\n  e.g.: sdlint ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,10 +49,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(run(*root, flag.Args(), *lockgraph, *callgraph))
+	os.Exit(run(*root, flag.Args(), *lockgraph, *callgraph, *jsonOut))
 }
 
-func run(root string, patterns []string, lockgraph bool, callgraph string) int {
+func run(root string, patterns []string, lockgraph bool, callgraph string, jsonOut bool) int {
 	if root == "" {
 		var err error
 		root, err = findModuleRoot()
@@ -71,7 +77,12 @@ func run(root string, patterns []string, lockgraph bool, callgraph string) int {
 	analyzers := lint.ProjectAnalyzers()
 	res := lint.Run(pkgs, analyzers)
 	relativize(res)
-	if err := lint.WriteDiagnostics(os.Stdout, res.Diagnostics); err != nil {
+	if jsonOut {
+		err = lint.WriteJSON(os.Stdout, res, analyzers)
+	} else {
+		err = lint.WriteDiagnostics(os.Stdout, res.Diagnostics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdlint:", err)
 		return 2
 	}

@@ -27,20 +27,21 @@ var (
 	obsDropped      = obs.GetCounter("bus.deliver.dropped")
 )
 
-// dropWarnOnce gates the log-once overflow warning: a slow subscriber is a
+// dropWarned gates the log-once overflow warning: a slow subscriber is a
 // deployment problem worth one loud line, not a log flood on every lost
-// message. The full count lives in the bus.deliver.dropped counter and the
-// per-subscription Dropped() accessor.
-var dropWarnOnce sync.Once
+// message. An atomic.Bool rather than sync.Once, so the per-drop path
+// allocates no closure. The full count lives in the bus.deliver.dropped
+// counter and the per-subscription Dropped() accessor.
+var dropWarned atomic.Bool
 
 // noteDrop accounts one overflow-discarded message.
 func (s *Subscription) noteDrop() {
 	s.dropped.Add(1)
 	obsDropped.Inc()
-	dropWarnOnce.Do(func() {
+	if !dropWarned.Load() && dropWarned.CompareAndSwap(false, true) {
 		//lint:ignore printban deliberate once-per-process operator warning; the flood-free contract is pinned by the drop-warning regression test
 		log.Printf("bus: subscriber %q buffer full; dropping messages (see bus.deliver.dropped metric and Subscription.Dropped; this warning is logged once)", s.pattern)
-	})
+	}
 }
 
 // Message is one published datagram.

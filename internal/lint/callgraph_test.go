@@ -28,6 +28,14 @@ func TestCallGraphFixture(t *testing.T) {
 		"  call  " + fixPath + ".helper callgraphfix.go:24",
 		fixPath + ".Entry$2",
 		"  call  " + fixPath + ".helper callgraphfix.go:27",
+		fixPath + ".Rebound",
+		fixPath + ".Rebound$1",
+		"  call  " + fixPath + ".helper callgraphfix.go:43",
+		fixPath + ".Rebound$2",
+		fixPath + ".SpawnBound",
+		"  go    " + fixPath + ".SpawnBound$1 callgraphfix.go:36",
+		fixPath + ".SpawnBound$1",
+		"  call  " + fixPath + ".helper callgraphfix.go:35",
 		fixPath + ".helper",
 		"",
 	}, "\n")
@@ -60,6 +68,7 @@ func TestGoReachable(t *testing.T) {
 	want := []string{
 		"(*" + fixPath + ".ringer).Ring",
 		fixPath + ".Entry$2",
+		fixPath + ".SpawnBound$1",
 		fixPath + ".helper", // called by Entry$2, so transitively go-reachable
 	}
 	if strings.Join(got, "|") != strings.Join(want, "|") {

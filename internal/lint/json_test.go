@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON pins the -json wire format byte for byte: field order,
+// indentation, sorted analyzer names, and the version marker. CI stores
+// the document as an artifact, so format drift must be a deliberate,
+// reviewed change here first.
+func TestWriteJSON(t *testing.T) {
+	res := &Result{
+		Diagnostics: []Diagnostic{
+			{
+				Pos:     token.Position{Filename: "internal/demo/demo.go", Line: 12, Column: 3},
+				Check:   "raceguard",
+				Message: "demo.n is guarded by mu but written without holding it",
+			},
+			{
+				Pos:     token.Position{Filename: "internal/demo/demo.go", Line: 40, Column: 9},
+				Check:   "hotalloc",
+				Message: "make allocates per element on the hot path",
+			},
+		},
+		Packages:   3,
+		Suppressed: 2,
+	}
+	analyzers := []*Analyzer{RaceGuard(), {Name: "aliaspub"}, {Name: "hotalloc"}}
+
+	var b strings.Builder
+	if err := WriteJSON(&b, res, analyzers); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := `{
+  "version": 1,
+  "packages": 3,
+  "analyzers": [
+    "aliaspub",
+    "hotalloc",
+    "raceguard"
+  ],
+  "findings": [
+    {
+      "file": "internal/demo/demo.go",
+      "line": 12,
+      "col": 3,
+      "check": "raceguard",
+      "message": "demo.n is guarded by mu but written without holding it"
+    },
+    {
+      "file": "internal/demo/demo.go",
+      "line": 40,
+      "col": 9,
+      "check": "hotalloc",
+      "message": "make allocates per element on the hot path"
+    }
+  ],
+  "suppressed": 2
+}
+`
+	if got := b.String(); got != want {
+		t.Errorf("JSON report mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSONEmpty pins the clean-tree shape: findings is [] (never
+// null), so `jq '.findings | length'` works without a null guard.
+func TestWriteJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, &Result{Packages: 1}, ProjectAnalyzers()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := b.String()
+	if strings.Contains(out, "null") {
+		t.Errorf("empty report contains null:\n%s", out)
+	}
+	var rep struct {
+		Version   int      `json:"version"`
+		Analyzers []string `json:"analyzers"`
+		Findings  []any    `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out)
+	}
+	if rep.Version != 1 {
+		t.Errorf("version = %d, want 1", rep.Version)
+	}
+	if len(rep.Analyzers) != 11 {
+		t.Errorf("analyzers = %d, want 11 (the project suite)", len(rep.Analyzers))
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("findings = %v, want empty non-null list", rep.Findings)
+	}
+}
+
+// TestWriteJSONDeterministic pins byte-stability across runs on a real
+// golden package.
+func TestWriteJSONDeterministic(t *testing.T) {
+	pkg := loadTestdata(t, "raceguard")
+	dump := func() string {
+		res := Run([]*Package{pkg}, []*Analyzer{RaceGuard()})
+		var b strings.Builder
+		if err := WriteJSON(&b, res, []*Analyzer{RaceGuard()}); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.String()
+	}
+	first := dump()
+	if !strings.Contains(first, `"check": "raceguard"`) {
+		t.Fatalf("golden run produced no raceguard findings:\n%s", first)
+	}
+	if second := dump(); second != first {
+		t.Errorf("JSON output is not deterministic:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

@@ -21,6 +21,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -69,6 +70,8 @@ type Program struct {
 
 	cg    *CallGraph
 	locks *lockAnalysis
+	races *raceAnalysis
+	pub   *pubAnalysis
 }
 
 // CallGraph returns the memoized module-local call graph.
@@ -146,6 +149,56 @@ func WriteDiagnostics(w io.Writer, diags []Diagnostic) error {
 		}
 	}
 	return nil
+}
+
+// jsonReport is the wire shape of `sdlint -json`. The field order here IS
+// the output order, scripts/check.sh and CI parse it, and TestWriteJSON
+// pins the bytes — treat any change as a format-version bump.
+type jsonReport struct {
+	Version    int              `json:"version"`
+	Packages   int              `json:"packages"`
+	Analyzers  []string         `json:"analyzers"`
+	Findings   []jsonDiagnostic `json:"findings"`
+	Suppressed int              `json:"suppressed"`
+}
+
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits one deterministic JSON document for the run: analyzer
+// names sorted, findings in SortDiagnostics order, never null for the
+// empty list, and a version field so consumers can detect format changes.
+// The same tree produces byte-identical output run to run.
+func WriteJSON(w io.Writer, res *Result, analyzers []*Analyzer) error {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	rep := jsonReport{
+		Version:    1,
+		Packages:   res.Packages,
+		Analyzers:  names,
+		Findings:   make([]jsonDiagnostic, 0, len(res.Diagnostics)),
+		Suppressed: res.Suppressed,
+	}
+	for _, d := range res.Diagnostics {
+		rep.Findings = append(rep.Findings, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
 }
 
 // inspectFiles walks every file of the pass's package.

@@ -155,11 +155,47 @@ func TestGoldenCtxFlow(t *testing.T) {
 	runGolden(t, "ctxflow", CtxFlow(blocking, "repro/"), "ctxflow")
 }
 
+func TestGoldenRaceGuard(t *testing.T) {
+	runGolden(t, "raceguard", RaceGuard(), "raceguard")
+}
+
+// testAliasPubSinks configures the fixture's own publish function as a
+// sink (argument 0), the way project.go lists the middleware's.
+func testAliasPubSinks() map[string]int {
+	return map[string]int{
+		"repro/internal/lint/testdata/src/aliaspub.publish": 0,
+	}
+}
+
+func TestGoldenAliasPub(t *testing.T) {
+	runGolden(t, "aliaspub", AliasPub(testAliasPubSinks(), "repro/"), "aliaspub")
+}
+
+// testHotAllocEntries: every per-event entry point of the fixture, plus
+// the amortized boundary, mirroring the HotEntryPoints/HotAmortizedStops
+// pair in project.go.
+func testHotAllocEntries() (entries, stops []string) {
+	const p = "repro/internal/lint/testdata/src/hotalloc."
+	return []string{
+			p + "Serve", p + "Label", p + "Concat", p + "LookupJoined",
+			p + "Box", p + "Closures", p + "Pointers", p + "Fill",
+			p + "Validated", p + "SpawnOff", p + "Suppressed",
+		}, []string{
+			p + "compile",
+		}
+}
+
+func TestGoldenHotAlloc(t *testing.T) {
+	entries, stops := testHotAllocEntries()
+	runGolden(t, "hotalloc", HotAlloc(entries, stops), "hotalloc")
+}
+
 // TestGoldenSuppressedCounts pins that each concurrency analyzer has at
 // least one finding silenced by an audited //lint:ignore in its golden
 // package — the suppression path is part of the contract, not a fluke
 // of the fixtures.
 func TestGoldenSuppressedCounts(t *testing.T) {
+	hotEntries, hotStops := testHotAllocEntries()
 	cases := []struct {
 		name string
 		a    *Analyzer
@@ -169,6 +205,9 @@ func TestGoldenSuppressedCounts(t *testing.T) {
 		{"ctxflow", CtxFlow(map[string]string{
 			"repro/internal/lint/testdata/src/ctxflow.Request": "RequestContext",
 		}, "repro/")},
+		{"raceguard", RaceGuard()},
+		{"aliaspub", AliasPub(testAliasPubSinks(), "repro/")},
+		{"hotalloc", HotAlloc(hotEntries, hotStops)},
 	}
 	for _, c := range cases {
 		pkg := loadTestdata(t, c.name)

@@ -252,11 +252,22 @@ func lockReaches(succ map[string][]string, from, to string) bool {
 }
 
 // lockWalker interprets one function body in statement order.
+//
+// The walker has a second consumer beyond lockorder: raceguard runs its
+// own walkers with the access hook set, reusing the held-set flow
+// tracking to learn which locks are held at every field access. The hook
+// is observational only — it never changes how held sets evolve — so
+// lockorder's results are identical whether or not it is installed.
 type lockWalker struct {
 	la   *lockAnalysis
 	g    *CallGraph
 	node *CGNode
 	summ *lockSummary
+
+	// access, when set, is invoked for every selector expression the walk
+	// reaches, with the held set at that statement and whether the
+	// selector is a write target (assignment LHS or ++/--).
+	access func(sel *ast.SelectorExpr, held map[string]lockMode, write bool)
 }
 
 func cloneHeld(h map[string]lockMode) map[string]lockMode {
@@ -325,6 +336,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]lockMode) (map[string]lock
 		return held, false
 
 	case *ast.ReturnStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.markWrites(s, held)
 		w.exprEdges(s, held)
 		_, isRet := s.(*ast.ReturnStmt)
 		return held, isRet
@@ -474,6 +486,45 @@ func (w *lockWalker) acquire(id string, mode lockMode, pos token.Pos, held map[s
 	w.summ.acquires[id] |= mode
 }
 
+// markWrites feeds the access hook the write targets of an assignment or
+// ++/-- statement: each LHS is unwrapped through parens, indexing, and
+// pointer dereference to the selector being written through (s.f = v,
+// s.f[i] = v, *s.f = v all write through field f). No-op without a hook.
+func (w *lockWalker) markWrites(s ast.Stmt, held map[string]lockMode) {
+	if w.access == nil {
+		return
+	}
+	var targets []ast.Expr
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		targets = x.Lhs
+	case *ast.IncDecStmt:
+		targets = []ast.Expr{x.X}
+	default:
+		return
+	}
+	for _, t := range targets {
+		for {
+			switch u := t.(type) {
+			case *ast.ParenExpr:
+				t = u.X
+			case *ast.IndexExpr:
+				t = u.X
+			case *ast.StarExpr:
+				t = u.X
+			case *ast.SelectorExpr:
+				w.access(u, held, true)
+				t = nil
+			default:
+				t = nil
+			}
+			if t == nil {
+				break
+			}
+		}
+	}
+}
+
 // exprEdges snapshots the current held set at every resolved call edge
 // inside the expression (or statement). Function-literal interiors are
 // excluded — literals are their own graph nodes with their own walk —
@@ -485,6 +536,11 @@ func (w *lockWalker) exprEdges(n ast.Node, held map[string]lockMode) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		if _, isLit := m.(*ast.FuncLit); isLit {
 			return false
+		}
+		if w.access != nil {
+			if sel, isSel := m.(*ast.SelectorExpr); isSel {
+				w.access(sel, held, false)
+			}
 		}
 		call, ok := m.(*ast.CallExpr)
 		if !ok {

@@ -70,6 +70,45 @@ var CtxBlocking = map[string]string{
 	"(*repro/internal/snapshot.Registry).Wait":     "Registry.WaitContext",
 }
 
+// PublishSinks maps the module's publish functions to the index of the
+// argument whose ownership transfers to concurrent readers at the call.
+// Channel sends and atomic.Pointer Store/Swap/CompareAndSwap are always
+// sinks; this table adds the middleware's named publication points.
+var PublishSinks = map[string]int{
+	"(*repro/internal/snapshot.Registry).Publish": 0,
+	"(*repro/internal/bus.Bus).Publish":           1,
+	"(*repro/internal/bus.Bus).PublishRetained":   1,
+}
+
+// HotEntryPoints are the per-event entry functions whose module-local
+// call/defer closure is held to the zero-allocation contract of
+// DESIGN.md §6: the serving read path, bus message fan-out, netsim
+// delivery, and store appends. Per-window work (decode, stream steps)
+// is deliberately not listed — those paths allocate result buffers by
+// design and are guarded by obshot instead.
+var HotEntryPoints = []string{
+	"(*repro/internal/serve.Server).Point",
+	"(*repro/internal/serve.Server).Range",
+	"(*repro/internal/serve.Server).Aggregate",
+	"(*repro/internal/snapshot.Registry).Latest",
+	"(*repro/internal/bus.Bus).Publish",
+	"(*repro/internal/bus.Bus).PublishRetained",
+	"(*repro/internal/netsim.Network).Send",
+	"(*repro/internal/netsim.Network).Deliver",
+	"(*repro/internal/netsim.Network).Flush",
+	"(*repro/internal/store.Store).Append",
+	"(*repro/internal/store.Store).AppendScalar",
+}
+
+// HotAmortizedStops are cache- or once-gated boundaries inside the hot
+// closure: the boundary function runs per event (and is scanned), but
+// its callees only run on a miss, so hotness stops propagating there.
+// serve.(*Server).compile hits the CoW filter cache on the steady
+// state; the query parser behind it allocates its AST freely.
+var HotAmortizedStops = []string{
+	"(*repro/internal/serve.Server).compile",
+}
+
 // ProjectAnalyzers returns the full sdlint analyzer suite with the
 // project's scoping baked in.
 func ProjectAnalyzers() []*Analyzer {
@@ -82,5 +121,8 @@ func ProjectAnalyzers() []*Analyzer {
 		Lockorder(),
 		GoroLeak(),
 		CtxFlow(CtxBlocking, ModulePrefix),
+		RaceGuard(),
+		AliasPub(PublishSinks, ModulePrefix),
+		HotAlloc(HotEntryPoints, HotAmortizedStops),
 	}
 }

@@ -1,0 +1,132 @@
+// Package aliaspub is golden input for the immutability-after-publish
+// analyzer: writes through values already handed to a publish sink
+// (configured function, channel send, atomic.Pointer store), aliases,
+// appends into published backing arrays, mutation via module-local
+// callees, the exported-accessor-returns-buffer rule, and the clean
+// copy-on-write shapes that must stay silent.
+package aliaspub
+
+import "sync/atomic"
+
+type buf struct {
+	n int
+}
+
+// publish is the configured sink of the golden test (argument 0).
+func publish(b *buf) {}
+
+var cur atomic.Pointer[buf]
+
+// writeAfterPublish is the basic CoW violation.
+func writeAfterPublish() {
+	b := &buf{}
+	b.n = 1 // building before the sink is fine
+	publish(b)
+	b.n = 2 // want `written here after being published`
+}
+
+// sendThenWrite: a channel send transfers ownership the same way.
+func sendThenWrite(ch chan *buf) {
+	b := &buf{}
+	ch <- b
+	b.n = 3 // want `written here after being published`
+}
+
+// storeThenWrite: so does an atomic.Pointer store.
+func storeThenWrite() {
+	b := &buf{}
+	cur.Store(b)
+	b.n = 4 // want `written here after being published`
+}
+
+// aliasWrite: a single-assignment alias is the same backing value.
+func aliasWrite() {
+	b := &buf{}
+	a := b
+	publish(b)
+	a.n = 5 // want `written here after being published`
+}
+
+// addrRebind: publishing &n makes a plain rebind of n a write through
+// the published pointer.
+func addrRebind(ch chan *int) {
+	n := 0
+	ch <- &n
+	n = 6 // want `written here after being published`
+}
+
+// appendAfterPublish: append writes into the shared backing array
+// whenever capacity allows.
+func appendAfterPublish(ch chan []int) {
+	s := make([]int, 0, 8)
+	ch <- s
+	s = append(s, 1) // want `append to s after it was published`
+}
+
+// scrub mutates its parameter; scrubVia forwards to it.
+func scrub(b *buf)    { b.n = 0 }
+func scrubVia(b *buf) { scrub(b) }
+
+// calleeMutates: passing the published value to a mutating callee is
+// flagged at the call site.
+func calleeMutates() {
+	b := &buf{}
+	publish(b)
+	scrub(b) // want `the callee writes through this parameter`
+}
+
+// transitiveMutates: the parameter-mutation summary is transitive.
+func transitiveMutates() {
+	b := &buf{}
+	publish(b)
+	scrubVia(b) // want `the callee writes through this parameter`
+}
+
+// inspect only reads its parameter: passing the published value on is
+// fine.
+func inspect(b *buf) int { return b.n }
+
+func calleeReads() {
+	b := &buf{}
+	publish(b)
+	_ = inspect(b)
+}
+
+// cowClean copies before mutating: the canonical fix shape.
+func cowClean(ch chan []int) {
+	s := []int{1, 2}
+	ch <- s
+	t := append([]int(nil), s...)
+	t[0] = 9
+	_ = t
+}
+
+// suppressed pins the audited-ignore path.
+func suppressed() {
+	b := &buf{}
+	publish(b)
+	//lint:ignore aliaspub golden-test fixture: demonstrates audited suppression
+	b.n = 7
+}
+
+// Ring is a published type (publishRing hands it to a sink), so its
+// exported accessors must not return internal buffers uncopied.
+type Ring struct {
+	items []int
+}
+
+func publishRing(ch chan *Ring) {
+	r := &Ring{}
+	ch <- r
+}
+
+// Items returns the internal slice directly: every caller gets a
+// mutable alias of served data.
+func (r *Ring) Items() []int {
+	return r.items // want `callers get a mutable alias`
+}
+
+// CopyItems returns a copy: the Registry.History shape, clean.
+func (r *Ring) CopyItems() []int {
+	return append([]int(nil), r.items...)
+}

@@ -27,3 +27,22 @@ func Entry(ifc noise) {
 		helper()
 	}()
 }
+
+// SpawnBound spawns a locally-bound literal: go-edge resolution runs
+// through the same binding table as plain calls, so the literal body
+// becomes goroutine-reachable.
+func SpawnBound() {
+	work := func() { helper() }
+	go work()
+}
+
+// Rebound binds two literals to one variable: binding resolution is
+// single-assignment only, so the call through f stays unresolved — no
+// edge, and neither literal is reachable from Rebound.
+func Rebound(flip bool) {
+	f := func() { helper() }
+	if flip {
+		f = func() {}
+	}
+	f()
+}

@@ -1,0 +1,119 @@
+// Package hotalloc is golden input for the hot-path allocation
+// analyzer: per-element allocations in loops of hot functions and in
+// loop-hot callees, per-event Sprintf/concat/boxing, and the shapes
+// that stay silent — entry-level buffers, value struct literals, map
+// key concatenation, error paths, amortized cache boundaries, go-edge
+// cutoff, and suppression.
+package hotalloc
+
+import "fmt"
+
+// Serve is a per-event entry point of the golden test.
+func Serve(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		m := make(map[string]int) // want `make allocates per element`
+		m[k] = 1
+		total += handle(k)
+		total += compile(k)
+	}
+	return total
+}
+
+// handle is reached through Serve's loop: loop-hot, so even a top-level
+// literal runs once per element.
+func handle(k string) int {
+	buf := []int{1, 2, 3} // want `slice literal allocates per element`
+	_ = k
+	return len(buf)
+}
+
+// compile is listed as an amortized boundary (cache-gated): it is still
+// scanned, but parse behind it is not hot.
+func compile(src string) int { return parse(src) }
+
+func parse(src string) int {
+	toks := make([]string, 0, len(src))
+	return len(toks)
+}
+
+// Label builds a per-event string: flagged anywhere in a hot function.
+func Label(id int) string {
+	return fmt.Sprintf("node-%d", id) // want `builds a string per event`
+}
+
+// Concat allocates per event even outside a loop.
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+var table = map[string]int{}
+
+// LookupJoined concatenates only inside a map index: the compiler keeps
+// that key on the stack, so the idiom is exempt.
+func LookupJoined(a, b string) int {
+	return table[a+"|"+b]
+}
+
+// Box stores a scalar into an interface-valued map cell: one heap
+// object per call.
+func Box(env map[string]any, v float64) {
+	env["value"] = v // want `boxes a float64 into an interface`
+}
+
+// Closures allocates a closure per element.
+func Closures(keys []string) {
+	for range keys {
+		f := func() {} // want `closure allocated per element`
+		f()
+	}
+}
+
+type nodeT struct{ v int }
+
+// Pointers: &T{} in a loop heap-allocates per element; the result
+// buffer made once outside the loop is clean.
+func Pointers(n int) []*nodeT {
+	out := make([]*nodeT, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &nodeT{v: i}) // want `heap-allocates per element`
+	}
+	return out
+}
+
+type cell struct{ r, c int }
+
+// Fill appends value struct literals: stack-allocated, exempt.
+func Fill(n int) []cell {
+	out := make([]cell, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cell{r: i, c: i})
+	}
+	return out
+}
+
+// Validated only allocates on the error path: exempt.
+func Validated(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad count %s", fmt.Sprint(n))
+	}
+	return nil
+}
+
+// SpawnOff hands work to a goroutine: go edges are not followed, so
+// background's Sprintf is off the event path.
+func SpawnOff(n int) {
+	go background(n)
+}
+
+func background(n int) {
+	_ = fmt.Sprintf("bg-%d", n)
+}
+
+// Suppressed pins the audited-ignore path.
+func Suppressed(keys []string) {
+	for range keys {
+		//lint:ignore hotalloc golden-test fixture: demonstrates audited suppression
+		_ = make([]int, 4)
+	}
+}

@@ -1,0 +1,129 @@
+// Package raceguard is golden input for the shared-state race analyzer:
+// goroutine-reachable writes to "guarded by" fields without the guard,
+// the entry-held fixpoint that keeps always-called-locked helpers clean,
+// the read-lock-only write, mixed atomic/plain field access, and the
+// patterns that must stay silent (locked writes, reads, Locked-suffix
+// convention, typed atomics, suppression).
+package raceguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	rw sync.RWMutex
+	m  int // guarded by rw
+}
+
+// bump writes under the lock and is spawned on a goroutine: clean.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// flush is reachable from a go statement and writes without the guard.
+func (c *counter) flush() {
+	c.n = 0 // want `guarded by mu but written without holding it`
+}
+
+// readOnly reads without the lock on a goroutine: reads are mutexguard's
+// department; raceguard flags only writes.
+func (c *counter) readOnly() int {
+	return c.n
+}
+
+// applyLocked carries the caller-holds-the-lock naming convention: the
+// audit burden is on its callers, not on this body.
+func (c *counter) applyLocked() {
+	c.n++
+}
+
+// helper is only ever called with mu held: the entry fixpoint proves the
+// lock across the call edge, no rename needed.
+func (c *counter) helper() {
+	c.n = 42
+}
+
+// run is a goroutine body; its locked call chain stays clean.
+func (c *counter) run() {
+	c.mu.Lock()
+	c.helper()
+	c.mu.Unlock()
+	c.applyLocked()
+}
+
+// rflush writes while holding only the read lock: readers may run
+// concurrently, so this is still a race.
+func (c *counter) rflush() {
+	c.rw.RLock()
+	c.m = 1 // want `holding only the read lock`
+	c.rw.RUnlock()
+}
+
+// suppressed pins the audited-ignore path.
+func (c *counter) suppressed() {
+	//lint:ignore raceguard golden-test fixture: demonstrates audited suppression
+	c.n = 7
+}
+
+// aliasWrite writes through a single-assignment alias: type-level field
+// identity sees the guarded field regardless of the variable name.
+func aliasWrite(c *counter) {
+	d := c
+	d.n = 9 // want `guarded by mu but written without holding it`
+}
+
+func spawnAll(c *counter) {
+	go c.bump()
+	go c.flush()
+	go c.readOnly()
+	go c.run()
+	go c.rflush()
+	go c.suppressed()
+	go aliasWrite(c)
+}
+
+// notSpawned writes without the lock but is never reachable from a go
+// statement: sequential callers are mutexguard's contract.
+func notSpawned(c *counter) {
+	c.n = 3
+}
+
+// published uses a typed atomic pointer: the only access path is the
+// atomic method set, so the snapshot/serve fast-path shape passes with
+// no annotation at all.
+type published struct {
+	cur atomic.Pointer[counter]
+}
+
+func (p *published) swap(c *counter) {
+	p.cur.Store(c)
+}
+
+func (p *published) watch() {
+	go p.swap(nil)
+}
+
+// mixed touches the same field through sync/atomic in one place and
+// plainly in others: there is no consistent synchronization story, and
+// every plain access is a finding.
+type mixed struct {
+	hits int64
+}
+
+func (m *mixed) inc() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+func (m *mixed) reset() {
+	m.hits = 0 // want `mixed atomic/non-atomic`
+}
+
+func (m *mixed) read() int64 {
+	return m.hits // want `mixed atomic/non-atomic`
+}

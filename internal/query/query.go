@@ -22,6 +22,79 @@ import (
 // float64, int (converted), string, bool.
 type Env map[string]any
 
+// Val is a typed field value: a small union that moves through
+// evaluation by value, so neither the caller nor the evaluator boxes
+// anything on the hot path. The zero Val is invalid.
+type Val struct {
+	kind valKind
+	num  float64
+	str  string
+	b    bool
+}
+
+type valKind uint8
+
+const (
+	valInvalid valKind = iota
+	valNum
+	valStr
+	valBool
+)
+
+// Num makes a numeric Val.
+func Num(f float64) Val { return Val{kind: valNum, num: f} }
+
+// Str makes a string Val.
+func Str(s string) Val { return Val{kind: valStr, str: s} }
+
+// Bool makes a boolean Val.
+func Bool(b bool) Val { return Val{kind: valBool, b: b} }
+
+func (v Val) kindString() string {
+	switch v.kind {
+	case valNum:
+		return "number"
+	case valStr:
+		return "string"
+	case valBool:
+		return "bool"
+	}
+	return "invalid value"
+}
+
+// Lookuper supplies typed field values during evaluation. Implementing
+// it with a concrete struct (rather than filling an Env map) keeps
+// per-evaluation allocations at zero — see serve's cell environment.
+type Lookuper interface {
+	// Lookup returns the field's value and whether the field exists. An
+	// existing field of an unsupported type returns the zero (invalid)
+	// Val, which evaluation turns into a type error.
+	Lookup(name string) (Val, bool)
+}
+
+// Lookup adapts the map environment: ints widen to float64, unsupported
+// types surface as invalid Vals.
+func (e Env) Lookup(name string) (Val, bool) {
+	v, ok := e[name]
+	if !ok {
+		return Val{}, false
+	}
+	switch x := v.(type) {
+	case float64:
+		return Num(x), true
+	case int:
+		return Num(float64(x)), true
+	case int64:
+		return Num(float64(x)), true
+	case string:
+		return Str(x), true
+	case bool:
+		return Bool(x), true
+	default:
+		return Val{}, true
+	}
+}
+
 // Filter is a compiled predicate.
 type Filter struct {
 	root node
@@ -51,17 +124,20 @@ func Compile(src string) (*Filter, error) {
 	return &Filter{root: root, src: src}, nil
 }
 
-// Eval evaluates the filter against an environment.
-func (f *Filter) Eval(env Env) (bool, error) {
+// Eval evaluates the filter against a map environment.
+func (f *Filter) Eval(env Env) (bool, error) { return f.EvalWith(env) }
+
+// EvalWith evaluates the filter against any Lookuper. With a concrete
+// environment type this path performs no allocations.
+func (f *Filter) EvalWith(env Lookuper) (bool, error) {
 	v, err := f.root.eval(env)
 	if err != nil {
 		return false, err
 	}
-	b, ok := v.(bool)
-	if !ok {
-		return false, fmt.Errorf("%w: expression is not boolean (got %T)", ErrEval, v)
+	if v.kind != valBool {
+		return false, fmt.Errorf("%w: expression is not boolean (got %s)", ErrEval, v.kindString())
 	}
-	return b, nil
+	return v.b, nil
 }
 
 // --- Lexer -------------------------------------------------------------------
@@ -162,7 +238,7 @@ func lex(src string) ([]token, error) {
 // --- Parser ------------------------------------------------------------------
 
 type node interface {
-	eval(env Env) (any, error)
+	eval(env Lookuper) (Val, error)
 }
 
 type parser struct {
@@ -263,17 +339,17 @@ func (p *parser) parseAtom() (node, error) {
 		return inner, nil
 	case tokNumber:
 		p.pos++
-		return &litNode{t.num}, nil
+		return &litNode{Num(t.num)}, nil
 	case tokString:
 		p.pos++
-		return &litNode{t.text}, nil
+		return &litNode{Str(t.text)}, nil
 	case tokIdent:
 		p.pos++
 		switch t.text {
 		case "true":
-			return &litNode{true}, nil
+			return &litNode{Bool(true)}, nil
 		case "false":
-			return &litNode{false}, nil
+			return &litNode{Bool(false)}, nil
 		}
 		return &fieldNode{t.text}, nil
 	default:
@@ -283,41 +359,34 @@ func (p *parser) parseAtom() (node, error) {
 
 // --- Evaluation ----------------------------------------------------------------
 
-type litNode struct{ v any }
+type litNode struct{ v Val }
 
-func (n *litNode) eval(Env) (any, error) { return n.v, nil }
+func (n *litNode) eval(Lookuper) (Val, error) { return n.v, nil }
 
 type fieldNode struct{ name string }
 
-func (n *fieldNode) eval(env Env) (any, error) {
-	v, ok := env[n.name]
+func (n *fieldNode) eval(env Lookuper) (Val, error) {
+	v, ok := env.Lookup(n.name)
 	if !ok {
-		return nil, fmt.Errorf("%w: unknown field %q", ErrEval, n.name)
+		return Val{}, fmt.Errorf("%w: unknown field %q", ErrEval, n.name)
 	}
-	switch x := v.(type) {
-	case int:
-		return float64(x), nil
-	case int64:
-		return float64(x), nil
-	case float64, string, bool:
-		return x, nil
-	default:
-		return nil, fmt.Errorf("%w: unsupported field type %T for %q", ErrEval, v, n.name)
+	if v.kind == valInvalid {
+		return Val{}, fmt.Errorf("%w: unsupported field type for %q", ErrEval, n.name)
 	}
+	return v, nil
 }
 
 type notNode struct{ inner node }
 
-func (n *notNode) eval(env Env) (any, error) {
+func (n *notNode) eval(env Lookuper) (Val, error) {
 	v, err := n.inner.eval(env)
 	if err != nil {
-		return nil, err
+		return Val{}, err
 	}
-	b, ok := v.(bool)
-	if !ok {
-		return nil, fmt.Errorf("%w: ! applied to non-boolean %T", ErrEval, v)
+	if v.kind != valBool {
+		return Val{}, fmt.Errorf("%w: ! applied to non-boolean %s", ErrEval, v.kindString())
 	}
-	return !b, nil
+	return Bool(!v.b), nil
 }
 
 type binNode struct {
@@ -325,93 +394,82 @@ type binNode struct {
 	l, r node
 }
 
-func (n *binNode) eval(env Env) (any, error) {
+func (n *binNode) eval(env Lookuper) (Val, error) {
 	lv, err := n.l.eval(env)
 	if err != nil {
-		return nil, err
+		return Val{}, err
 	}
 	// Short-circuit logical operators.
 	if n.op == "&&" || n.op == "||" {
-		lb, ok := lv.(bool)
-		if !ok {
-			return nil, fmt.Errorf("%w: %s applied to non-boolean %T", ErrEval, n.op, lv)
+		if lv.kind != valBool {
+			return Val{}, fmt.Errorf("%w: %s applied to non-boolean %s", ErrEval, n.op, lv.kindString())
 		}
-		if n.op == "&&" && !lb {
-			return false, nil
+		if n.op == "&&" && !lv.b {
+			return Bool(false), nil
 		}
-		if n.op == "||" && lb {
-			return true, nil
+		if n.op == "||" && lv.b {
+			return Bool(true), nil
 		}
 		rv, err := n.r.eval(env)
 		if err != nil {
-			return nil, err
+			return Val{}, err
 		}
-		rb, ok := rv.(bool)
-		if !ok {
-			return nil, fmt.Errorf("%w: %s applied to non-boolean %T", ErrEval, n.op, rv)
+		if rv.kind != valBool {
+			return Val{}, fmt.Errorf("%w: %s applied to non-boolean %s", ErrEval, n.op, rv.kindString())
 		}
-		return rb, nil
+		return rv, nil
 	}
 	rv, err := n.r.eval(env)
 	if err != nil {
-		return nil, err
+		return Val{}, err
 	}
 	return compare(n.op, lv, rv)
 }
 
-func compare(op string, l, r any) (any, error) {
-	switch lv := l.(type) {
-	case float64:
-		rvf, ok := r.(float64)
-		if !ok {
-			return nil, fmt.Errorf("%w: comparing number with %T", ErrEval, r)
-		}
+func compare(op string, l, r Val) (Val, error) {
+	if l.kind != r.kind {
+		return Val{}, fmt.Errorf("%w: cannot compare %s %s %s", ErrEval, l.kindString(), op, r.kindString())
+	}
+	switch l.kind {
+	case valNum:
 		switch op {
 		case "==":
-			return lv == rvf, nil
+			return Bool(l.num == r.num), nil
 		case "!=":
-			return lv != rvf, nil
+			return Bool(l.num != r.num), nil
 		case "<":
-			return lv < rvf, nil
+			return Bool(l.num < r.num), nil
 		case "<=":
-			return lv <= rvf, nil
+			return Bool(l.num <= r.num), nil
 		case ">":
-			return lv > rvf, nil
+			return Bool(l.num > r.num), nil
 		case ">=":
-			return lv >= rvf, nil
+			return Bool(l.num >= r.num), nil
 		}
-	case string:
-		rvs, ok := r.(string)
-		if !ok {
-			return nil, fmt.Errorf("%w: comparing string with %T", ErrEval, r)
-		}
+	case valStr:
 		switch op {
 		case "==":
-			return lv == rvs, nil
+			return Bool(l.str == r.str), nil
 		case "!=":
-			return lv != rvs, nil
+			return Bool(l.str != r.str), nil
 		case "<":
-			return lv < rvs, nil
+			return Bool(l.str < r.str), nil
 		case "<=":
-			return lv <= rvs, nil
+			return Bool(l.str <= r.str), nil
 		case ">":
-			return lv > rvs, nil
+			return Bool(l.str > r.str), nil
 		case ">=":
-			return lv >= rvs, nil
+			return Bool(l.str >= r.str), nil
 		}
-	case bool:
-		rvb, ok := r.(bool)
-		if !ok {
-			return nil, fmt.Errorf("%w: comparing bool with %T", ErrEval, r)
-		}
+	case valBool:
 		switch op {
 		case "==":
-			return lv == rvb, nil
+			return Bool(l.b == r.b), nil
 		case "!=":
-			return lv != rvb, nil
+			return Bool(l.b != r.b), nil
 		default:
-			return nil, fmt.Errorf("%w: ordering not defined on booleans", ErrEval)
+			return Val{}, fmt.Errorf("%w: ordering not defined on booleans", ErrEval)
 		}
 	}
-	return nil, fmt.Errorf("%w: cannot compare %T %s %T", ErrEval, l, op, r)
+	return Val{}, fmt.Errorf("%w: cannot compare %s %s %s", ErrEval, l.kindString(), op, r.kindString())
 }

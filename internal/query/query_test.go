@@ -212,3 +212,60 @@ func TestPropCompileNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// typedEnv is a concrete Lookuper: evaluation through it must not box.
+type typedEnv struct {
+	temp float64
+	zone float64
+	act  string
+}
+
+func (e *typedEnv) Lookup(name string) (Val, bool) {
+	switch name {
+	case "temp":
+		return Num(e.temp), true
+	case "zone":
+		return Num(e.zone), true
+	case "activity":
+		return Str(e.act), true
+	}
+	return Val{}, false
+}
+
+// EvalWith on a concrete environment agrees with Eval on the equivalent
+// map environment.
+func TestEvalWithMatchesEnv(t *testing.T) {
+	srcs := []string{
+		"temp > 30 && zone == 2",
+		"activity == 'driving' || temp < 10",
+		"!(zone != 2) && temp >= 31.5",
+		"missingfield == 1",
+	}
+	env := Env{"temp": 31.5, "zone": 2.0, "activity": "driving"}
+	typed := &typedEnv{temp: 31.5, zone: 2.0, act: "driving"}
+	for _, src := range srcs {
+		f := mustCompile(t, src)
+		got, gotErr := f.EvalWith(typed)
+		want, wantErr := f.Eval(env)
+		if (gotErr != nil) != (wantErr != nil) || got != want {
+			t.Errorf("%q: EvalWith=(%v,%v) Eval=(%v,%v)", src, got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// The typed evaluation path performs zero allocations — the contract
+// serve's per-cell filtering depends on (hotalloc guards the call site;
+// this pins the callee).
+func TestEvalWithZeroAllocs(t *testing.T) {
+	f := mustCompile(t, "temp > 30 && zone == 2 && activity == 'driving'")
+	env := &typedEnv{temp: 31.5, zone: 2.0, act: "driving"}
+	allocs := testing.AllocsPerRun(200, func() {
+		ok, err := f.EvalWith(env)
+		if err != nil || !ok {
+			t.Fatalf("EvalWith: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalWith allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -313,3 +313,52 @@ func TestServeSoak(t *testing.T) {
 		t.Fatalf("aggregate p99 = %.1fms, budget 500ms", rep.Agg.P99)
 	}
 }
+
+// The per-cell filter environment and typed evaluation path allocate
+// nothing: boxing one value per cell would put ~4 heap objects on every
+// scanned cell at full query load. Filtered aggregates with zero
+// matches take the same loop without touching the result buffer, so the
+// whole query is alloc-free after warm-up (cache insert aside).
+func TestRangeFilterZeroAllocs(t *testing.T) {
+	s, _ := testServer(t)
+	f, err := s.compile("value >= 70 && col < 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &cellEnv{}
+	allocs := testing.AllocsPerRun(200, func() {
+		env.v, env.r, env.c, env.zone = 71, 7, 1, 2
+		ok, ferr := f.EvalWith(env)
+		if ferr != nil || !ok {
+			t.Fatalf("EvalWith: ok=%v err=%v", ok, ferr)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("per-cell filter eval allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// Aggregate caching still round-trips through the struct key: a repeated
+// (op, filter) query on the same version is a cache hit with an
+// identical result.
+func TestAggregateCacheStructKey(t *testing.T) {
+	s, _ := testServer(t)
+	first, err := s.Aggregate(2, AggMean, "value >= 70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := s.caches[2].Load()
+	if cache == nil {
+		t.Fatal("no cache after aggregate")
+	}
+	if _, ok := cache.entries[aggKey{op: AggMean, src: "value >= 70"}]; !ok {
+		t.Fatalf("cache missing struct key, has %d entries", len(cache.entries))
+	}
+	again, err := s.Aggregate(2, AggMean, "value >= 70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("cache hit differs: %+v vs %+v", first, again)
+	}
+}

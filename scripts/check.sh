@@ -28,15 +28,30 @@ if ! echo "$SDLINT_OUT" | grep -Eq 'analyzed [1-9][0-9]* packages'; then
     echo "FAIL: sdlint analyzed zero packages — loader or pattern expansion is broken"
     exit 1
 fi
-if ! echo "$SDLINT_OUT" | grep -Eq 'with 8 analyzers'; then
-    echo "FAIL: sdlint ran without the full 8-analyzer suite — check ProjectAnalyzers wiring"
+if ! echo "$SDLINT_OUT" | grep -Eq 'with 11 analyzers'; then
+    echo "FAIL: sdlint ran without the full 11-analyzer suite — check ProjectAnalyzers wiring"
     exit 1
 fi
-if [ "$SDLINT_SECS" -gt 20 ]; then
-    echo "FAIL: sdlint took ${SDLINT_SECS}s (> 20s budget) — the interprocedural layer regressed"
+if [ "$SDLINT_SECS" -gt 30 ]; then
+    echo "FAIL: sdlint took ${SDLINT_SECS}s (> 30s budget) — the interprocedural layer regressed"
     exit 1
 fi
-echo "sdlint wall clock: ${SDLINT_SECS}s (budget 20s)"
+echo "sdlint wall clock: ${SDLINT_SECS}s (budget 30s)"
+# The machine-readable report must stay parseable and agree with the
+# human run: a clean tree is an empty findings list with all 11
+# analyzers present.
+SDLINT_JSON="$(go run ./cmd/sdlint -json ./... 2>/dev/null)" || {
+    echo "FAIL: sdlint -json exited non-zero on a tree the plain run passed"
+    exit 1
+}
+if ! echo "$SDLINT_JSON" | grep -q '"version": 1'; then
+    echo "FAIL: sdlint -json output missing the version marker"
+    exit 1
+fi
+if ! echo "$SDLINT_JSON" | grep -q '"findings": \[\]'; then
+    echo "FAIL: sdlint -json reports findings the plain run did not"
+    exit 1
+fi
 
 echo "== fuzz smoke =="
 # A few seconds per target: enough to catch a decoder that started
