@@ -87,7 +87,7 @@ func main() {
 
 	// Accept node registrations.
 	var mu sync.Mutex
-	reg, err := b.Subscribe(*ncID+"/register", 64)
+	reg, err := b.Subscribe(bus.RegisterTopic(*ncID), 64)
 	if err != nil {
 		log.Fatalf("sensedroid-broker: %v", err)
 	}

@@ -69,11 +69,11 @@ func main() {
 
 	// Subscribe to this node's command topics before registering so no
 	// command can race past us.
-	cmds, err := cli.Subscribe(*ncID + "/node/" + *id + "/#")
+	cmds, err := cli.Subscribe(bus.NodeCommandPattern(*ncID, *id))
 	if err != nil {
 		log.Fatalf("sensedroid-node: %v", err)
 	}
-	if err := cli.Publish(*ncID+"/register", []byte(*id)); err != nil {
+	if err := cli.Publish(bus.RegisterTopic(*ncID), []byte(*id)); err != nil {
 		log.Fatalf("sensedroid-node: %v", err)
 	}
 	log.Printf("node %s joined %s at %s", *id, *ncID, *addr)

@@ -125,6 +125,32 @@ func main() {
 		return
 	}
 
+	mux := newMux(reg, srv)
+
+	hs := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }() // exits on Shutdown/Close
+	log.Printf("query API on %s (/field/point /field/range /field/agg /snapshot /healthz)", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	select {
+	case <-stop:
+		log.Printf("shutting down after %d windows (latest version %d)", pipe.Windows(), reg.Latest().Version)
+	case err := <-errCh:
+		log.Printf("sensedroid-serve: http: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("sensedroid-serve: shutdown: %v", err)
+	}
+}
+
+// newMux builds the query API routes. Factored out of main so the
+// handler error paths are testable with httptest against a registry in
+// any state.
+func newMux(reg *snapshot.Registry, srv *serve.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		if reg.Latest() == nil {
@@ -196,25 +222,7 @@ func main() {
 		}
 		writeJSON(rw, res)
 	})
-
-	hs := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }() // exits on Shutdown/Close
-	log.Printf("query API on %s (/field/point /field/range /field/agg /snapshot /healthz)", *addr)
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	select {
-	case <-stop:
-		log.Printf("shutting down after %d windows (latest version %d)", pipe.Windows(), reg.Latest().Version)
-	case err := <-errCh:
-		log.Printf("sensedroid-serve: http: %v", err)
-	}
-	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
-	defer scancel()
-	if err := hs.Shutdown(sctx); err != nil {
-		log.Printf("sensedroid-serve: shutdown: %v", err)
-	}
+	return mux
 }
 
 // qInt parses one required integer query parameter.

@@ -3,6 +3,7 @@ package bus
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -50,4 +51,60 @@ func FuzzParseFrame(f *testing.F) {
 			t.Fatalf("round trip mutated frame: %+v -> %+v", fr, rt)
 		}
 	})
+}
+
+// FuzzTopicMatch hammers the wildcard matcher with arbitrary
+// pattern/topic pairs. The properties: Match never panics on any
+// input; a valid topic used as its own pattern always matches itself;
+// "#" alone matches every valid topic; and a match implies the
+// pattern's literal segments appear in order at their positions —
+// checked against a naive reference matcher.
+func FuzzTopicMatch(f *testing.F) {
+	f.Add("a/b/c", "a/b/c")
+	f.Add("a/+/c", "a/b/c")
+	f.Add("a/#", "a")
+	f.Add("a/#", "a/b/c/d")
+	f.Add("#", "x/y")
+	f.Add("+/register", "nc0/register")
+	f.Add("nc0/node/+/measure", "nc0/node/n3/measure")
+	f.Add("a//b", "a/b")
+	f.Add("a/#/b", "a/x/b")
+	f.Add("+", "")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, pattern, topic string) {
+		got := Match(pattern, topic) // must never panic
+		if ValidTopic(topic) {
+			if !Match(topic, topic) {
+				t.Fatalf("valid topic %q does not match itself", topic)
+			}
+			if !Match("#", topic) {
+				t.Fatalf(`"#" does not match valid topic %q`, topic)
+			}
+		}
+		if ValidPattern(pattern) && ValidTopic(topic) {
+			if want := refMatch(pattern, topic); got != want {
+				t.Fatalf("Match(%q, %q) = %v, reference = %v", pattern, topic, got, want)
+			}
+		}
+	})
+}
+
+// refMatch is a naive segment-list reference implementation of the
+// wildcard rules: "+" one segment, trailing "#" any remainder
+// (including none).
+func refMatch(pattern, topic string) bool {
+	ps := strings.Split(pattern, "/")
+	ts := strings.Split(topic, "/")
+	for i, p := range ps {
+		if p == "#" {
+			return true
+		}
+		if i >= len(ts) {
+			return false
+		}
+		if p != "+" && p != ts[i] {
+			return false
+		}
+	}
+	return len(ps) == len(ts)
 }

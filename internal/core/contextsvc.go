@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/bus"
 	"repro/internal/node"
 	"repro/internal/query"
 )
@@ -17,7 +18,7 @@ import (
 
 // ContextTopic returns the retained-context topic for a node.
 func ContextTopic(brokerID, nodeID string) string {
-	return fmt.Sprintf("%s/ctx/%s", brokerID, nodeID)
+	return bus.NodeContextTopic(brokerID, nodeID)
 }
 
 // PublishContexts runs on-device context sensing on every node and

@@ -1,0 +1,810 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// chanflow: channel-lifecycle discipline along flow order.
+//
+// A channel has three lifecycle states the runtime punishes for
+// confusing: nil (send/receive block forever, close panics), open, and
+// closed (send and close panic). The walker interprets each function
+// body in statement order, tracking
+//
+//   - must-nil: channels declared `var ch chan T` (or assigned nil) and
+//     not yet made — an intersection fact, so a channel that *might*
+//     have been made on some path is not nil;
+//   - may-closed: channels a reachable close() has run on — a union
+//     fact, so "send after close" fires if any path closed first.
+//
+// Any assignment to the channel clears its state (the snapshot
+// registry's close-then-remake notify pattern stays clean), loop bodies
+// are walked twice so a close in iteration N is visible to a send in
+// iteration N+1, and select comm clauses suppress the nil checks — a
+// nil channel arm is the standard way to disable a select case.
+//
+// Interprocedurally, every function gets a summary of which parameters
+// and which channel fields it (transitively, over call and defer edges)
+// sends on or closes; at a call site after close(ch), passing ch to a
+// callee that sends on it is reported just like a direct send. `go`
+// edges are excluded: a spawned goroutine has no flow order against its
+// spawner.
+//
+// Reported:
+//
+//   - send/receive/range on a provably-nil channel (blocks forever);
+//   - close of a nil channel (panics);
+//   - double close, direct, via deferred close, or through a callee;
+//   - send after close, direct or through a call/defer edge;
+//   - close of a channel field owned by another package — only the
+//     package that owns a channel knows when no sender remains, so a
+//     foreign close is a protocol violation even when it happens to
+//     work today.
+
+// chanKey identifies a channel: a local/parameter object, or a
+// (root object, field) pair for s.ch style fields.
+type chanKey struct {
+	root  types.Object
+	field *types.Var
+}
+
+// chanState is the walker's abstract state at one program point.
+type chanState struct {
+	mustNil     map[chanKey]bool
+	mayClosed   map[chanKey]token.Pos
+	deferClosed map[chanKey]token.Pos
+}
+
+func newChanState() *chanState {
+	return &chanState{
+		mustNil:     map[chanKey]bool{},
+		mayClosed:   map[chanKey]token.Pos{},
+		deferClosed: map[chanKey]token.Pos{},
+	}
+}
+
+func (st *chanState) clone() *chanState {
+	c := newChanState()
+	for k, v := range st.mustNil {
+		c.mustNil[k] = v
+	}
+	for k, v := range st.mayClosed {
+		c.mayClosed[k] = v
+	}
+	for k, v := range st.deferClosed {
+		c.deferClosed[k] = v
+	}
+	return c
+}
+
+// forget drops every fact about k (the channel was reassigned).
+func (st *chanState) forget(k chanKey) {
+	delete(st.mustNil, k)
+	delete(st.mayClosed, k)
+	delete(st.deferClosed, k)
+}
+
+// forgetRoot drops every fact rooted at obj (loop variables are
+// rebound at each iteration).
+func (st *chanState) forgetRoot(obj types.Object) {
+	for k := range st.mustNil {
+		if k.root == obj {
+			delete(st.mustNil, k)
+		}
+	}
+	for k := range st.mayClosed {
+		if k.root == obj {
+			delete(st.mayClosed, k)
+		}
+	}
+	for k := range st.deferClosed {
+		if k.root == obj {
+			delete(st.deferClosed, k)
+		}
+	}
+}
+
+// mergeChanStates joins branch outcomes: must-nil by intersection,
+// may-closed by union (earliest witness position kept for stable
+// messages).
+func mergeChanStates(states []*chanState) *chanState {
+	out := newChanState()
+	if len(states) == 0 {
+		return out
+	}
+	for k := range states[0].mustNil {
+		all := true
+		for _, s := range states[1:] {
+			if !s.mustNil[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.mustNil[k] = true
+		}
+	}
+	for _, s := range states {
+		for k, p := range s.mayClosed {
+			if old, ok := out.mayClosed[k]; !ok || p < old {
+				out.mayClosed[k] = p
+			}
+		}
+		for k, p := range s.deferClosed {
+			if old, ok := out.deferClosed[k]; !ok || p < old {
+				out.deferClosed[k] = p
+			}
+		}
+	}
+	return out
+}
+
+// chanSummary records which parameters (by index) and channel fields a
+// function sends on or closes, transitively over call/defer edges.
+type chanSummary struct {
+	paramSends  map[int]bool
+	paramCloses map[int]bool
+	fieldSends  map[*types.Var]bool
+	fieldCloses map[*types.Var]bool
+}
+
+func newChanSummary() *chanSummary {
+	return &chanSummary{
+		paramSends:  map[int]bool{},
+		paramCloses: map[int]bool{},
+		fieldSends:  map[*types.Var]bool{},
+		fieldCloses: map[*types.Var]bool{},
+	}
+}
+
+type chanFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// chanAnalysis is the memoized whole-program result.
+type chanAnalysis struct {
+	findings []chanFinding
+	seen     map[string]bool
+}
+
+// report appends one deduplicated finding (the two-pass loop walk and
+// branch re-walks may reach the same site twice).
+func (ca *chanAnalysis) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if ca.seen[key] {
+		return
+	}
+	ca.seen[key] = true
+	ca.findings = append(ca.findings, chanFinding{pkg: pkg, pos: pos, msg: msg})
+}
+
+// chanAnalysisResult computes (once) the whole-program channel analysis.
+func (p *Program) chanAnalysisResult() *chanAnalysis {
+	if p.chans != nil {
+		return p.chans
+	}
+	ca := &chanAnalysis{seen: map[string]bool{}}
+	g := p.CallGraph()
+	nodes := g.SortedNodes()
+
+	// Direct summaries.
+	summ := map[*CGNode]*chanSummary{}
+	for _, n := range nodes {
+		s := newChanSummary()
+		info := n.Pkg.Info
+		ast.Inspect(n.Body(), func(m ast.Node) bool {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.SendStmt:
+				recordChanOp(n, info, x.Chan, s.paramSends, s.fieldSends)
+			case *ast.CallExpr:
+				if arg, ok := closeArg(info, x); ok {
+					recordChanOp(n, info, arg, s.paramCloses, s.fieldCloses)
+				}
+			}
+			return true
+		})
+		summ[n] = s
+	}
+
+	// Transitive fixpoint over call and defer edges.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := summ[n]
+			for _, e := range n.Out {
+				if e.Kind == EdgeGo || e.Call == nil {
+					continue
+				}
+				cs := summ[e.Callee]
+				prop := func(from map[int]bool, toParams map[int]bool, toFields map[*types.Var]bool) {
+					for j := range from {
+						if j >= len(e.Call.Args) {
+							continue
+						}
+						k, ok := chanKeyOf(n.Pkg.Info, e.Call.Args[j])
+						if !ok {
+							continue
+						}
+						if k.field != nil {
+							if !toFields[k.field] {
+								toFields[k.field] = true
+								changed = true
+							}
+						} else if i := paramIndexOf(n, rootVar(k)); i >= 0 {
+							if !toParams[i] {
+								toParams[i] = true
+								changed = true
+							}
+						}
+					}
+				}
+				prop(cs.paramSends, s.paramSends, s.fieldSends)
+				prop(cs.paramCloses, s.paramCloses, s.fieldCloses)
+				for f := range cs.fieldSends {
+					if !s.fieldSends[f] {
+						s.fieldSends[f] = true
+						changed = true
+					}
+				}
+				for f := range cs.fieldCloses {
+					if !s.fieldCloses[f] {
+						s.fieldCloses[f] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Per-function flow walk.
+	for _, n := range nodes {
+		w := &chanWalker{ca: ca, g: g, node: n, summ: summ}
+		w.stmts(n.Body().List, newChanState())
+	}
+
+	sort.Slice(ca.findings, func(i, j int) bool {
+		if ca.findings[i].pos != ca.findings[j].pos {
+			return ca.findings[i].pos < ca.findings[j].pos
+		}
+		return ca.findings[i].msg < ca.findings[j].msg
+	})
+	p.chans = ca
+	return ca
+}
+
+func rootVar(k chanKey) *types.Var {
+	v, _ := k.root.(*types.Var)
+	return v
+}
+
+// recordChanOp classifies a direct channel operand as a parameter or a
+// field fact for the summary.
+func recordChanOp(n *CGNode, info *types.Info, e ast.Expr, params map[int]bool, fields map[*types.Var]bool) {
+	k, ok := chanKeyOf(info, e)
+	if !ok {
+		return
+	}
+	if k.field != nil {
+		fields[k.field] = true
+		return
+	}
+	if i := paramIndexOf(n, rootVar(k)); i >= 0 {
+		params[i] = true
+	}
+}
+
+// closeArg reports whether call is the builtin close and returns its
+// operand.
+func closeArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// chanKeyOf identifies a channel-typed operand: a plain identifier, or
+// a one-level field selector rooted at an identifier.
+func chanKeyOf(info *types.Info, e ast.Expr) (chanKey, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := info.ObjectOf(x).(*types.Var)
+		if !ok || v.IsField() {
+			return chanKey{}, false
+		}
+		return chanKey{root: v}, true
+	case *ast.SelectorExpr:
+		f, ok := info.ObjectOf(x.Sel).(*types.Var)
+		if !ok || !f.IsField() {
+			return chanKey{}, false
+		}
+		base, ok := ast.Unparen(x.X).(*ast.Ident)
+		if !ok {
+			return chanKey{}, false
+		}
+		r := info.ObjectOf(base)
+		if r == nil {
+			return chanKey{}, false
+		}
+		return chanKey{root: r, field: f}, true
+	}
+	return chanKey{}, false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// chanName renders a key for messages.
+func chanName(k chanKey) string {
+	if k.field != nil {
+		if owner := namedType(rootVar2Type(k.root)); owner != nil {
+			return owner.Obj().Name() + "." + k.field.Name()
+		}
+		return k.root.Name() + "." + k.field.Name()
+	}
+	return k.root.Name()
+}
+
+func rootVar2Type(o types.Object) types.Type {
+	if o == nil {
+		return nil
+	}
+	return o.Type()
+}
+
+// chanWalker interprets one function body in statement order.
+type chanWalker struct {
+	ca   *chanAnalysis
+	g    *CallGraph
+	node *CGNode
+	summ map[*CGNode]*chanSummary
+}
+
+func (w *chanWalker) info() *types.Info { return w.node.Pkg.Info }
+
+// stmts walks a statement list; true means control provably never
+// falls off (return/panic/branch on every path).
+func (w *chanWalker) stmts(list []ast.Stmt, st *chanState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *chanWalker) stmt(s ast.Stmt, st *chanState) bool {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(x.List, st)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if arg, isClose := closeArg(w.info(), call); isClose {
+				w.doClose(arg, call.Lparen, st, false)
+				return false
+			}
+		}
+		w.scanExpr(x.X, st, false)
+		return isTerminalExpr(w.node.Pkg, x.X)
+
+	case *ast.SendStmt:
+		w.scanExpr(x.Value, st, false)
+		w.checkSend(x.Chan, x.Arrow, st, false)
+		return false
+
+	case *ast.DeferStmt:
+		if arg, isClose := closeArg(w.info(), x.Call); isClose {
+			w.doClose(arg, x.Call.Lparen, st, true)
+			return false
+		}
+		w.scanExpr(x.Call, st, false)
+		return false
+
+	case *ast.GoStmt:
+		// The spawned body runs concurrently: no flow order against this
+		// function, so only the argument expressions are scanned.
+		for _, a := range x.Call.Args {
+			w.scanExpr(a, st, false)
+		}
+		return false
+
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.scanExpr(r, st, false)
+		}
+		for i, l := range x.Lhs {
+			k, ok := chanKeyOf(w.info(), l)
+			if !ok {
+				continue
+			}
+			st.forget(k)
+			if len(x.Rhs) == len(x.Lhs) && isChanType(w.info().TypeOf(l)) {
+				if tv, ok := w.info().Types[x.Rhs[i]]; ok && tv.IsNil() {
+					st.mustNil[k] = true
+				}
+			}
+		}
+		return false
+
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.scanExpr(v, st, false)
+			}
+			if len(vs.Values) > 0 {
+				continue
+			}
+			for _, nm := range vs.Names {
+				obj := w.info().ObjectOf(nm)
+				if obj != nil && isChanType(obj.Type()) {
+					st.mustNil[chanKey{root: obj}] = true
+				}
+			}
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.scanExpr(r, st, false)
+		}
+		return true
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		w.scanExpr(x.Cond, st, false)
+		thenSt := st.clone()
+		thenTerm := w.stmts(x.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = w.stmt(x.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *mergeChanStates([]*chanState{thenSt, elseSt})
+		}
+		return false
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			w.scanExpr(x.Cond, st, false)
+		}
+		w.loopBody(func(bst *chanState) bool {
+			term := w.stmts(x.Body.List, bst)
+			if !term && x.Post != nil {
+				w.stmt(x.Post, bst)
+			}
+			return term
+		}, nil, st)
+		return false
+
+	case *ast.RangeStmt:
+		if k, ok := chanKeyOf(w.info(), x.X); ok && isChanType(w.info().TypeOf(x.X)) && st.mustNil[k] {
+			w.ca.report(w.node.Pkg, x.For, "range over nil channel %s blocks forever", chanName(k))
+		}
+		w.scanExpr(x.X, st, false)
+		var loopVars []types.Object
+		for _, v := range []ast.Expr{x.Key, x.Value} {
+			if id, ok := v.(*ast.Ident); ok {
+				if obj := w.info().ObjectOf(id); obj != nil {
+					loopVars = append(loopVars, obj)
+				}
+			}
+		}
+		w.loopBody(func(bst *chanState) bool {
+			return w.stmts(x.Body.List, bst)
+		}, loopVars, st)
+		return false
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			w.scanExpr(x.Tag, st, false)
+		}
+		return w.caseMerge(x.Body.List, st, false)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init, st)
+		}
+		return w.caseMerge(x.Body.List, st, false)
+
+	case *ast.SelectStmt:
+		return w.caseMerge(x.Body.List, st, true)
+
+	case *ast.BranchStmt:
+		return true
+
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+
+	case *ast.IncDecStmt:
+		w.scanExpr(x.X, st, false)
+		return false
+
+	default:
+		return false
+	}
+}
+
+// loopBody walks a loop body twice — a close in iteration N must be
+// visible to a send in iteration N+1 — rebinding loop variables at
+// each pass; findings are deduplicated by the analysis. The loop's out
+// state is the entry/body merge (zero iterations are possible).
+func (w *chanWalker) loopBody(walk func(*chanState) bool, loopVars []types.Object, st *chanState) {
+	entry := st.clone()
+	pass1 := entry.clone()
+	for _, v := range loopVars {
+		pass1.forgetRoot(v)
+	}
+	term1 := walk(pass1)
+	if !term1 {
+		pass2 := mergeChanStates([]*chanState{entry, pass1})
+		for _, v := range loopVars {
+			pass2.forgetRoot(v)
+		}
+		if !walk(pass2) {
+			pass1 = pass2
+		}
+	}
+	if term1 {
+		*st = *entry
+		return
+	}
+	*st = *mergeChanStates([]*chanState{entry, pass1})
+}
+
+// caseMerge walks switch/select clause bodies from a shared entry
+// state and merges the survivors; select comm clauses suppress the
+// nil-channel checks (a nil arm disables the case by design).
+func (w *chanWalker) caseMerge(clauses []ast.Stmt, st *chanState, isSelect bool) bool {
+	var outs []*chanState
+	hasDefault := false
+	nCases := 0
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		cst := st.clone()
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanExpr(e, st, false)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.commStmt(c.Comm, cst)
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		nCases++
+		if !w.stmts(body, cst) {
+			outs = append(outs, cst)
+		}
+	}
+	exhaustive := hasDefault || (isSelect && nCases > 0)
+	if len(outs) == 0 {
+		return exhaustive && nCases > 0
+	}
+	if !exhaustive {
+		outs = append(outs, st.clone())
+	}
+	*st = *mergeChanStates(outs)
+	return false
+}
+
+// commStmt walks a select communication op: send-on-closed still
+// panics inside a select, but nil checks are suppressed.
+func (w *chanWalker) commStmt(s ast.Stmt, st *chanState) {
+	switch x := s.(type) {
+	case *ast.SendStmt:
+		w.scanExpr(x.Value, st, true)
+		w.checkSend(x.Chan, x.Arrow, st, true)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.scanExpr(r, st, true)
+		}
+	case *ast.ExprStmt:
+		w.scanExpr(x.X, st, true)
+	}
+}
+
+// checkSend reports sends on provably-nil or may-closed channels.
+func (w *chanWalker) checkSend(ch ast.Expr, pos token.Pos, st *chanState, suppressNil bool) {
+	k, ok := chanKeyOf(w.info(), ch)
+	if !ok {
+		return
+	}
+	if !suppressNil && st.mustNil[k] {
+		w.ca.report(w.node.Pkg, pos, "send on nil channel %s blocks forever", chanName(k))
+	}
+	if cp, closed := st.mayClosed[k]; closed {
+		at := w.node.Pkg.Fset.Position(cp)
+		w.ca.report(w.node.Pkg, pos, "send on %s after close at %s:%d (panics)", chanName(k), baseName(at.Filename), at.Line)
+	}
+}
+
+// doClose handles close(ch) and defer close(ch): nil close, double
+// close (direct, deferred, or mixed), and foreign-field ownership.
+func (w *chanWalker) doClose(arg ast.Expr, pos token.Pos, st *chanState, deferred bool) {
+	w.scanExpr(arg, st, false)
+	// Ownership: closing a channel field of a type another package
+	// defines breaks the "only the owner closes" protocol.
+	if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+		if f, ok := w.info().ObjectOf(sel.Sel).(*types.Var); ok && f.IsField() {
+			if owner := namedType(w.info().TypeOf(sel.X)); owner != nil && owner.Obj().Pkg() != nil &&
+				owner.Obj().Pkg() != w.node.Pkg.Types {
+				w.ca.report(w.node.Pkg, pos, "close of channel field %s.%s owned by package %s (close by non-owner)",
+					owner.Obj().Name(), f.Name(), owner.Obj().Pkg().Path())
+			}
+		}
+	}
+	k, ok := chanKeyOf(w.info(), arg)
+	if !ok {
+		return
+	}
+	if st.mustNil[k] {
+		w.ca.report(w.node.Pkg, pos, "close of nil channel %s (panics)", chanName(k))
+	}
+	if cp, closed := st.mayClosed[k]; closed {
+		at := w.node.Pkg.Fset.Position(cp)
+		w.ca.report(w.node.Pkg, pos, "%s may already be closed at %s:%d (double close)", chanName(k), baseName(at.Filename), at.Line)
+	} else if dp, has := st.deferClosed[k]; has {
+		at := w.node.Pkg.Fset.Position(dp)
+		w.ca.report(w.node.Pkg, pos, "%s is closed again by the deferred close at %s:%d (double close)", chanName(k), baseName(at.Filename), at.Line)
+	}
+	delete(st.mustNil, k)
+	if deferred {
+		st.deferClosed[k] = pos
+	} else {
+		st.mayClosed[k] = pos
+	}
+}
+
+// scanExpr checks receives and resolved calls inside an expression.
+// Function-literal interiors are excluded — they are their own graph
+// nodes with their own walk.
+func (w *chanWalker) scanExpr(e ast.Expr, st *chanState, suppressNil bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW || suppressNil {
+				return true
+			}
+			if k, ok := chanKeyOf(w.info(), x.X); ok && st.mustNil[k] {
+				w.ca.report(w.node.Pkg, x.OpPos, "receive on nil channel %s blocks forever", chanName(k))
+			}
+		case *ast.CallExpr:
+			w.applyCall(x, st)
+		}
+		return true
+	})
+}
+
+// applyCall composes the flow state with a resolved callee's summary:
+// a closed channel flowing into a callee that sends on (or re-closes)
+// it is the interprocedural version of the direct checks.
+func (w *chanWalker) applyCall(call *ast.CallExpr, st *chanState) {
+	e := w.g.EdgeByCall[call]
+	if e == nil || e.Caller != w.node || e.Kind == EdgeGo {
+		return
+	}
+	cs := w.summ[e.Callee]
+	if cs == nil {
+		return
+	}
+	for j, arg := range call.Args {
+		k, ok := chanKeyOf(w.info(), arg)
+		if !ok {
+			continue
+		}
+		if cp, closed := st.mayClosed[k]; closed {
+			at := w.node.Pkg.Fset.Position(cp)
+			if cs.paramSends[j] {
+				w.ca.report(w.node.Pkg, call.Lparen, "call to %s sends on %s, closed at %s:%d (send after close)",
+					e.Callee.ID, chanName(k), baseName(at.Filename), at.Line)
+			}
+			if cs.paramCloses[j] {
+				w.ca.report(w.node.Pkg, call.Lparen, "call to %s closes %s again, closed at %s:%d (double close)",
+					e.Callee.ID, chanName(k), baseName(at.Filename), at.Line)
+			}
+		}
+		if cs.paramCloses[j] {
+			delete(st.mustNil, k)
+			st.mayClosed[k] = call.Lparen
+		}
+	}
+	// Method receiver: closed fields of the receiver object.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if rid, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			r := w.info().ObjectOf(rid)
+			if r == nil {
+				return
+			}
+			for k, cp := range st.mayClosed {
+				if k.root != r || k.field == nil {
+					continue
+				}
+				at := w.node.Pkg.Fset.Position(cp)
+				if cs.fieldSends[k.field] {
+					w.ca.report(w.node.Pkg, call.Lparen, "call to %s sends on %s, closed at %s:%d (send after close)",
+						e.Callee.ID, chanName(k), baseName(at.Filename), at.Line)
+				}
+				if cs.fieldCloses[k.field] {
+					w.ca.report(w.node.Pkg, call.Lparen, "call to %s closes %s again, closed at %s:%d (double close)",
+						e.Callee.ID, chanName(k), baseName(at.Filename), at.Line)
+				}
+			}
+		}
+	}
+}
+
+// ChanFlow returns the channel-lifecycle analyzer. The analysis is
+// whole-program and memoized on the Program; each pass reports only
+// findings positioned in its own package.
+func ChanFlow() *Analyzer {
+	return &Analyzer{
+		Name: "chanflow",
+		Doc:  "channel lifecycle: nil sends/receives, double close, send after close, close by non-owner package",
+		Run: func(pass *Pass) {
+			ca := pass.Prog.chanAnalysisResult()
+			for _, f := range ca.findings {
+				if f.pkg == pass.Pkg {
+					pass.Reportf(f.pos, "%s", f.msg)
+				}
+			}
+		},
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"encoding/json"
 	"go/token"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,8 @@ import (
 // TestWriteJSON pins the -json wire format byte for byte: field order,
 // indentation, sorted analyzer names, and the version marker. CI stores
 // the document as an artifact, so format drift must be a deliberate,
-// reviewed change here first.
+// reviewed change here first. Timings are injected as fixed values —
+// the only field whose real values vary run to run.
 func TestWriteJSON(t *testing.T) {
 	res := &Result{
 		Diagnostics: []Diagnostic{
@@ -27,6 +29,11 @@ func TestWriteJSON(t *testing.T) {
 		},
 		Packages:   3,
 		Suppressed: 2,
+		Timings: []AnalyzerTiming{
+			{Analyzer: "aliaspub", Millis: 1.25},
+			{Analyzer: "hotalloc", Millis: 40},
+			{Analyzer: "raceguard", Millis: 3.5},
+		},
 	}
 	analyzers := []*Analyzer{RaceGuard(), {Name: "aliaspub"}, {Name: "hotalloc"}}
 
@@ -35,12 +42,26 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	want := `{
-  "version": 1,
+  "version": 2,
   "packages": 3,
   "analyzers": [
     "aliaspub",
     "hotalloc",
     "raceguard"
+  ],
+  "timings": [
+    {
+      "analyzer": "aliaspub",
+      "ms": 1.25
+    },
+    {
+      "analyzer": "hotalloc",
+      "ms": 40
+    },
+    {
+      "analyzer": "raceguard",
+      "ms": 3.5
+    }
   ],
   "findings": [
     {
@@ -66,8 +87,9 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
-// TestWriteJSONEmpty pins the clean-tree shape: findings is [] (never
-// null), so `jq '.findings | length'` works without a null guard.
+// TestWriteJSONEmpty pins the clean-tree shape: findings and timings are
+// [] (never null), so `jq '.findings | length'` works without a null
+// guard.
 func TestWriteJSONEmpty(t *testing.T) {
 	var b strings.Builder
 	if err := WriteJSON(&b, &Result{Packages: 1}, ProjectAnalyzers()); err != nil {
@@ -80,24 +102,32 @@ func TestWriteJSONEmpty(t *testing.T) {
 	var rep struct {
 		Version   int      `json:"version"`
 		Analyzers []string `json:"analyzers"`
+		Timings   []any    `json:"timings"`
 		Findings  []any    `json:"findings"`
 	}
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("report does not parse: %v\n%s", err, out)
 	}
-	if rep.Version != 1 {
-		t.Errorf("version = %d, want 1", rep.Version)
+	if rep.Version != 2 {
+		t.Errorf("version = %d, want 2", rep.Version)
 	}
-	if len(rep.Analyzers) != 11 {
-		t.Errorf("analyzers = %d, want 11 (the project suite)", len(rep.Analyzers))
+	if len(rep.Analyzers) != 13 {
+		t.Errorf("analyzers = %d, want 13 (the project suite)", len(rep.Analyzers))
+	}
+	if rep.Timings == nil || len(rep.Timings) != 0 {
+		t.Errorf("timings = %v, want empty non-null list", rep.Timings)
 	}
 	if rep.Findings == nil || len(rep.Findings) != 0 {
 		t.Errorf("findings = %v, want empty non-null list", rep.Findings)
 	}
 }
 
+// msValue matches a timing value so determinism checks can normalize
+// the one legitimately varying field.
+var msValue = regexp.MustCompile(`"ms": [0-9.]+`)
+
 // TestWriteJSONDeterministic pins byte-stability across runs on a real
-// golden package.
+// golden package, modulo the timing values.
 func TestWriteJSONDeterministic(t *testing.T) {
 	pkg := loadTestdata(t, "raceguard")
 	dump := func() string {
@@ -106,11 +136,14 @@ func TestWriteJSONDeterministic(t *testing.T) {
 		if err := WriteJSON(&b, res, []*Analyzer{RaceGuard()}); err != nil {
 			t.Fatalf("WriteJSON: %v", err)
 		}
-		return b.String()
+		return msValue.ReplaceAllString(b.String(), `"ms": X`)
 	}
 	first := dump()
 	if !strings.Contains(first, `"check": "raceguard"`) {
 		t.Fatalf("golden run produced no raceguard findings:\n%s", first)
+	}
+	if !strings.Contains(first, `"analyzer": "raceguard"`) {
+		t.Fatalf("report carries no timing entry for the analyzer that ran:\n%s", first)
 	}
 	if second := dump(); second != first {
 		t.Errorf("JSON output is not deterministic:\n--- first ---\n%s--- second ---\n%s", first, second)

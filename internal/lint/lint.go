@@ -27,6 +27,7 @@ import (
 	"go/token"
 	"io"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and
@@ -68,10 +69,12 @@ type Pass struct {
 type Program struct {
 	Pkgs []*Package
 
-	cg    *CallGraph
-	locks *lockAnalysis
-	races *raceAnalysis
-	pub   *pubAnalysis
+	cg     *CallGraph
+	locks  *lockAnalysis
+	races  *raceAnalysis
+	pub    *pubAnalysis
+	topics *topicAnalysis
+	chans  *chanAnalysis
 }
 
 // CallGraph returns the memoized module-local call graph.
@@ -96,9 +99,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Result is the outcome of a lint run.
 type Result struct {
-	Diagnostics []Diagnostic // post-suppression, sorted by position
-	Packages    int          // packages analyzed (the zero-guard in check.sh watches this)
-	Suppressed  int          // diagnostics silenced by //lint:ignore directives
+	Diagnostics []Diagnostic     // post-suppression, sorted by position
+	Packages    int              // packages analyzed (the zero-guard in check.sh watches this)
+	Suppressed  int              // diagnostics silenced by //lint:ignore directives
+	Timings     []AnalyzerTiming // wall time per analyzer, sorted by name
+}
+
+// AnalyzerTiming is the wall time one analyzer spent across all
+// packages of the run. The whole-program analyses are memoized on the
+// Program, so the first analyzer to demand a shared structure (the call
+// graph, most visibly) is billed for building it — the numbers answer
+// "which analyzer should I look at when the run blows the latency
+// budget", not "what is the marginal cost of re-running this one".
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
 }
 
 // Run analyzes every package with every analyzer, applies //lint:ignore
@@ -108,16 +123,24 @@ type Result struct {
 func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 	var diags []Diagnostic
 	prog := &Program{Pkgs: pkgs}
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{Pkg: pkg, Prog: prog, analyzer: a, diags: &diags}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 		diags = append(diags, malformedDirectives(pkg)...)
 	}
 	kept, suppressed := suppress(pkgs, diags)
 	SortDiagnostics(kept)
-	return &Result{Diagnostics: kept, Packages: len(pkgs), Suppressed: suppressed}
+	timings := make([]AnalyzerTiming, 0, len(elapsed))
+	for name, d := range elapsed {
+		timings = append(timings, AnalyzerTiming{Analyzer: name, Millis: float64(d.Microseconds()) / 1000})
+	}
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Analyzer < timings[j].Analyzer })
+	return &Result{Diagnostics: kept, Packages: len(pkgs), Suppressed: suppressed, Timings: timings}
 }
 
 // SortDiagnostics orders by file, then line, then column, then check —
@@ -158,6 +181,7 @@ type jsonReport struct {
 	Version    int              `json:"version"`
 	Packages   int              `json:"packages"`
 	Analyzers  []string         `json:"analyzers"`
+	Timings    []AnalyzerTiming `json:"timings"`
 	Findings   []jsonDiagnostic `json:"findings"`
 	Suppressed int              `json:"suppressed"`
 }
@@ -171,19 +195,26 @@ type jsonDiagnostic struct {
 }
 
 // WriteJSON emits one deterministic JSON document for the run: analyzer
-// names sorted, findings in SortDiagnostics order, never null for the
-// empty list, and a version field so consumers can detect format changes.
-// The same tree produces byte-identical output run to run.
+// names sorted, per-analyzer timings (name-sorted; the one field whose
+// values vary run to run — consumers comparing reports must normalize
+// "ms"), findings in SortDiagnostics order, never null for the empty
+// lists, and a version field so consumers can detect format changes.
+// Version history: 1 = no timings; 2 = added "timings".
 func WriteJSON(w io.Writer, res *Result, analyzers []*Analyzer) error {
 	names := make([]string, len(analyzers))
 	for i, a := range analyzers {
 		names[i] = a.Name
 	}
 	sort.Strings(names)
+	timings := res.Timings
+	if timings == nil {
+		timings = []AnalyzerTiming{}
+	}
 	rep := jsonReport{
-		Version:    1,
+		Version:    2,
 		Packages:   res.Packages,
 		Analyzers:  names,
+		Timings:    timings,
 		Findings:   make([]jsonDiagnostic, 0, len(res.Diagnostics)),
 		Suppressed: res.Suppressed,
 	}

@@ -190,6 +190,30 @@ func TestGoldenHotAlloc(t *testing.T) {
 	runGolden(t, "hotalloc", HotAlloc(entries, stops), "hotalloc")
 }
 
+// testTopicConfig wires the fixture's miniature bus API as protocol
+// roots, mirroring ProjectTopicConfig's shape for the real middleware.
+func testTopicConfig() *TopicConfig {
+	const p = "repro/internal/lint/testdata/src/topicflow"
+	return &TopicConfig{
+		Roots: map[string]TopicRoot{
+			"(*" + p + ".Bus).Publish":         {Role: TopicPublish, TopicArg: 0, BodyArg: -1, OutArg: -1, HandlerArg: -1},
+			"(*" + p + ".Bus).PublishRetained": {Role: TopicPublish, Retained: true, TopicArg: 0, BodyArg: -1, OutArg: -1, HandlerArg: -1},
+			"(*" + p + ".Bus).Subscribe":       {Role: TopicSubscribe, TopicArg: 0, BodyArg: -1, OutArg: -1, HandlerArg: -1},
+			"(*" + p + ".Bus).Retained":        {Role: TopicRetainedRead, TopicArg: 0, BodyArg: -1, OutArg: -1, HandlerArg: -1},
+			p + ".Request":                     {Role: TopicRequest, TopicArg: 1, BodyArg: 2, OutArg: 3, HandlerArg: -1},
+			p + ".Respond":                     {Role: TopicRespond, TopicArg: 1, BodyArg: -1, OutArg: -1, HandlerArg: 2},
+		},
+	}
+}
+
+func TestGoldenTopicFlow(t *testing.T) {
+	runGolden(t, "topicflow", TopicFlow(testTopicConfig()), "topicflow")
+}
+
+func TestGoldenChanFlow(t *testing.T) {
+	runGolden(t, "chanflow", ChanFlow(), "chanflow")
+}
+
 // TestGoldenSuppressedCounts pins that each concurrency analyzer has at
 // least one finding silenced by an audited //lint:ignore in its golden
 // package — the suppression path is part of the contract, not a fluke
@@ -208,6 +232,8 @@ func TestGoldenSuppressedCounts(t *testing.T) {
 		{"raceguard", RaceGuard()},
 		{"aliaspub", AliasPub(testAliasPubSinks(), "repro/")},
 		{"hotalloc", HotAlloc(hotEntries, hotStops)},
+		{"topicflow", TopicFlow(testTopicConfig())},
+		{"chanflow", ChanFlow()},
 	}
 	for _, c := range cases {
 		pkg := loadTestdata(t, c.name)

@@ -1,0 +1,202 @@
+// Package chanflow is the golden fixture for the chanflow analyzer: one
+// example of every channel-lifecycle defect it reports, and the
+// idiomatic patterns that must stay silent.
+package chanflow
+
+import "repro/internal/lint/testdata/src/chanown"
+
+// --- nil-channel operations -------------------------------------------------
+
+func NilSend() {
+	var ch chan int
+	ch <- 1 // want `send on nil channel ch blocks forever`
+}
+
+func NilReceive() {
+	var ch chan int
+	<-ch // want `receive on nil channel ch blocks forever`
+}
+
+func NilRange() {
+	var ch chan int
+	for range ch { // want `range over nil channel ch blocks forever`
+	}
+}
+
+func NilClose() {
+	var ch chan int
+	close(ch) // want `close of nil channel ch \(panics\)`
+}
+
+// MadeLater is clean: the assignment clears the nil fact.
+func MadeLater() {
+	var ch chan int
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// MaybeMade is clean: must-nil is an intersection fact, and one branch
+// makes the channel.
+func MaybeMade(enable bool) {
+	var ch chan int
+	if enable {
+		ch = make(chan int, 1)
+	}
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// NilSelectArm is clean: a provably-nil channel in a select comm clause
+// is the standard way to disable that arm.
+func NilSelectArm(done chan struct{}) {
+	var idle chan int
+	select {
+	case <-idle:
+	case <-done:
+	}
+}
+
+// --- double close -----------------------------------------------------------
+
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `ch may already be closed at chanflow.go:\d+ \(double close\)`
+}
+
+func DeferDoubleClose() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch) // want `ch is closed again by the deferred close at chanflow.go:\d+ \(double close\)`
+}
+
+func DeferTwice() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want `ch is closed again by the deferred close at chanflow.go:\d+ \(double close\)`
+}
+
+// BranchClose is clean: exactly one of the two closes runs (the first
+// branch returns), so the join sees a single close.
+func BranchClose(fail bool) {
+	ch := make(chan int)
+	if fail {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+// Remake is clean — the close-then-remake notify pattern: reassignment
+// clears the closed state.
+type ticker struct{ notify chan struct{} }
+
+func (t *ticker) bump() {
+	close(t.notify)
+	t.notify = make(chan struct{}, 1)
+	t.notify <- struct{}{}
+}
+
+// --- send after close -------------------------------------------------------
+
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch after close at chanflow.go:\d+ \(panics\)`
+}
+
+// LoopClose: the close in iteration N reaches the send in iteration
+// N+1, and the close itself re-runs.
+func LoopClose(items []int) {
+	ch := make(chan int, len(items))
+	for _, v := range items {
+		ch <- v   // want `send on ch after close at chanflow.go:\d+ \(panics\)`
+		close(ch) // want `ch may already be closed at chanflow.go:\d+ \(double close\)`
+	}
+}
+
+// SelectSendClosed: send on a closed channel panics even inside a
+// select (only the nil checks are suppressed there).
+func SelectSendClosed(ch chan int) {
+	close(ch)
+	select {
+	case ch <- 1: // want `send on ch after close at chanflow.go:\d+ \(panics\)`
+	default:
+	}
+}
+
+// GoClose is clean: the goroutine's sends and close have no flow order
+// against the spawner, and are internally ordered correctly.
+func GoClose() {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	for range ch {
+	}
+}
+
+// --- interprocedural: call/defer edges --------------------------------------
+
+func sendInto(ch chan int, v int) { ch <- v }
+
+func closeIt(ch chan int) { close(ch) }
+
+func closeVia(ch chan int) { closeIt(ch) }
+
+func CallSendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	sendInto(ch, 1) // want `call to repro/internal/lint/testdata/src/chanflow.sendInto sends on ch, closed at chanflow.go:\d+ \(send after close\)`
+}
+
+// CallDoubleClose: the callee's close is composed into the flow state,
+// so the later direct close is a double close.
+func CallDoubleClose() {
+	ch := make(chan int)
+	closeIt(ch)
+	close(ch) // want `ch may already be closed at chanflow.go:\d+ \(double close\)`
+}
+
+// TransitiveDoubleClose: the summary propagates through closeVia.
+func TransitiveDoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	closeVia(ch) // want `call to repro/internal/lint/testdata/src/chanflow.closeVia closes ch again, closed at chanflow.go:\d+ \(double close\)`
+}
+
+// --- fields and methods -----------------------------------------------------
+
+type worker struct {
+	out chan int
+}
+
+func (w *worker) emit(v int) { w.out <- v }
+
+func FieldSendAfterClose(w *worker) {
+	close(w.out)
+	w.emit(3) // want `call to \(\*repro/internal/lint/testdata/src/chanflow.worker\)\.emit sends on worker.out, closed at chanflow.go:\d+ \(send after close\)`
+}
+
+// --- ownership --------------------------------------------------------------
+
+// ForeignClose closes a channel field belonging to another package's
+// type: only the owner knows when no sender remains.
+func ForeignClose(f *chanown.Feed) {
+	close(f.C) // want `close of channel field Feed.C owned by package repro/internal/lint/testdata/src/chanown \(close by non-owner\)`
+}
+
+// --- audited suppression ----------------------------------------------------
+
+func SuppressedDoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	//lint:ignore chanflow fixture demonstrates the audited escape hatch
+	close(ch)
+}

@@ -1,0 +1,13 @@
+// Package chanown provides the foreign channel owner for the chanflow
+// golden fixture: a type whose channel field only this package may
+// close.
+package chanown
+
+type Feed struct {
+	C chan int
+}
+
+func New() *Feed { return &Feed{C: make(chan int, 1)} }
+
+// Close is the owner's shutdown path — closing Feed.C here is fine.
+func (f *Feed) Close() { close(f.C) }

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+)
+
+// parseShape builds a shape from literal pattern/topic text, the way
+// the resolver does for a fully-constant operand.
+func parseShape(s string) topicShape {
+	return partsToShape([]topicPart{{kind: partLit, lit: s}})
+}
+
+// TestShapeMayMatchAgreesWithBusMatch pins the analyzer's matcher to
+// the transport's real semantics: on fully-concrete shapes (no abstract
+// segments) shapeMayMatch must equal bus.Match exactly — the
+// conservatism of may-match only comes from abstraction, never from the
+// wildcard rules themselves.
+func TestShapeMayMatchAgreesWithBusMatch(t *testing.T) {
+	patterns := []string{
+		"a", "a/b", "a/b/c", "+", "+/+", "a/+", "+/b", "a/#", "#",
+		"a/+/c", "a/b/#", "+/#", "a/+/#", "nc0/node/n1/measure",
+		"nc0/node/+/measure", "nc0/node/+/#", "+/register",
+	}
+	topics := []string{
+		"a", "a/b", "a/b/c", "a/b/c/d", "b", "b/a", "a/x/c",
+		"nc0/node/n1/measure", "nc0/node/n2/measure", "nc0/node/n1/status",
+		"nc1/register", "register",
+	}
+	for _, p := range patterns {
+		if !bus.ValidPattern(p) {
+			t.Fatalf("test pattern %q is not valid", p)
+		}
+		for _, top := range topics {
+			if !bus.ValidTopic(top) {
+				t.Fatalf("test topic %q is not valid", top)
+			}
+			want := bus.Match(p, top)
+			got := shapeMayMatch(parseShape(p), parseShape(top))
+			if got != want {
+				t.Errorf("shapeMayMatch(%q, %q) = %v, bus.Match = %v", p, top, got, want)
+			}
+		}
+	}
+}
+
+// TestShapeMayMatchAbstract pins the abstraction's key property: an
+// abstract component stands for one OR MORE segments (runtime IDs like
+// "lc0/nc0" contain slashes), so shapes that disagree only on how many
+// segments an unknown ID spans must still may-match.
+func TestShapeMayMatchAbstract(t *testing.T) {
+	abstract := topicSeg{kind: segAbstract}
+	lit := func(s string) topicSeg { return topicSeg{kind: segLit, lit: s} }
+	cases := []struct {
+		name     string
+		pat, top topicShape
+		want     bool
+	}{
+		{
+			"one abstract spans two",
+			topicShape{segs: []topicSeg{abstract, lit("node"), abstract, lit("measure")}},
+			topicShape{segs: []topicSeg{abstract, abstract, lit("node"), abstract, lit("measure")}},
+			true,
+		},
+		{
+			"literals still anchor",
+			topicShape{segs: []topicSeg{abstract, lit("node")}},
+			topicShape{segs: []topicSeg{abstract, lit("status")}},
+			false,
+		},
+		{
+			"abstract cannot span zero",
+			topicShape{segs: []topicSeg{lit("a"), abstract, lit("b")}},
+			topicShape{segs: []topicSeg{lit("a"), lit("b")}},
+			false,
+		},
+		{
+			"hash swallows abstract tail",
+			topicShape{segs: []topicSeg{lit("a"), topicSeg{kind: segHash}}},
+			topicShape{segs: []topicSeg{lit("a"), abstract, abstract}},
+			true,
+		},
+	}
+	for _, c := range cases {
+		if got := shapeMayMatch(c.pat, c.top); got != c.want {
+			t.Errorf("%s: shapeMayMatch = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFormatTopicGraphDeterministic pins the committed-dump contract:
+// the same tree renders byte-identical text run to run (docs/
+// topicgraph.txt is diffed in CI).
+func TestFormatTopicGraphDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := testLoader(t)
+	dump := func() string {
+		pkgs, err := l.Load("./...")
+		if err != nil {
+			t.Fatalf("Load ./...: %v", err)
+		}
+		prog := &Program{Pkgs: pkgs}
+		return FormatTopicGraph(prog, ProjectTopicConfig())
+	}
+	first := dump()
+	if first == "" {
+		t.Fatal("topic graph is empty; the protocol endpoints were not found")
+	}
+	if second := dump(); second != first {
+		t.Errorf("FormatTopicGraph is not deterministic:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}

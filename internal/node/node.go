@@ -199,42 +199,46 @@ type StatusReply struct {
 
 // MeasureTopic returns the node's measure-command topic on an NC bus.
 func MeasureTopic(ncID, nodeID string) string {
-	return fmt.Sprintf("%s/node/%s/measure", ncID, nodeID)
+	return bus.NodeMeasureTopic(ncID, nodeID)
 }
 
 // PositionTopic returns the node's position-query topic.
 func PositionTopic(ncID, nodeID string) string {
-	return fmt.Sprintf("%s/node/%s/position", ncID, nodeID)
+	return bus.NodePositionTopic(ncID, nodeID)
 }
 
 // StatusTopic returns the node's status-query topic.
 func StatusTopic(ncID, nodeID string) string {
-	return fmt.Sprintf("%s/node/%s/status", ncID, nodeID)
+	return bus.NodeStatusTopic(ncID, nodeID)
 }
 
 // AttachBus subscribes the node's command handlers on the NanoCloud bus.
 // Radio reception/transmission energy for each served request is charged
 // to the node's meter.
 func (n *Node) AttachBus(b *bus.Bus, ncID string) error {
-	measure, err := b.Subscribe(MeasureTopic(ncID, n.ID), 16)
-	if err != nil {
+	if err := n.serveTopic(b, MeasureTopic(ncID, n.ID), n.handleMeasure); err != nil {
 		return err
 	}
-	position, err := b.Subscribe(PositionTopic(ncID, n.ID), 16)
-	if err != nil {
+	if err := n.serveTopic(b, PositionTopic(ncID, n.ID), n.handlePosition); err != nil {
 		return err
 	}
-	status, err := b.Subscribe(StatusTopic(ncID, n.ID), 16)
+	return n.serveTopic(b, StatusTopic(ncID, n.ID), n.handleStatus)
+}
+
+// serveTopic subscribes one command topic and spawns the request-serving
+// loop that answers it with fn's result. It is the node's single
+// responder registration point: sdlint's topicflow analyzer treats every
+// serveTopic call as "this node answers requests on that topic".
+func (n *Node) serveTopic(b *bus.Bus, topic string, fn func(body []byte) (any, error)) error {
+	sub, err := b.Subscribe(topic, 16)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
-	n.subs = append(n.subs, measure, position, status)
+	n.subs = append(n.subs, sub)
 	n.mu.Unlock()
-	n.serveWG.Add(3)
-	go n.serve(b, measure, n.handleMeasure)
-	go n.serve(b, position, n.handlePosition)
-	go n.serve(b, status, n.handleStatus)
+	n.serveWG.Add(1)
+	go n.serve(b, sub, fn)
 	return nil
 }
 
