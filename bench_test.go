@@ -8,12 +8,14 @@ package sensedroid
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/basis"
 	"repro/internal/cs"
 	"repro/internal/experiments"
 	"repro/internal/field"
+	"repro/internal/fleet"
 )
 
 func benchTable(b *testing.B, run func() (*experiments.Table, error)) {
@@ -210,6 +212,69 @@ func BenchmarkDecode64GridOperator(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Fleet backend: struct-of-arrays population at scale ---------------------
+
+// fleetBench runs one full fleet campaign per iteration: population
+// construction, Rounds duty rounds of tick/report/batched-netsim
+// traffic, and the per-zone decode. Construction is inside the timed
+// loop deliberately — a campaign mutates the population (energy,
+// mobility), so each iteration must start from the same seeded state,
+// and standing up the shards is part of the unit of work being claimed.
+func fleetBench(b *testing.B, nodes, shardSize, fieldDim, zoneRC, budget, maxSupport int) {
+	b.Helper()
+	truth := field.GenPlumes(fieldDim, fieldDim, 10, []field.Plume{
+		{Row: 0.3 * float64(fieldDim), Col: 0.6 * float64(fieldDim), Sigma: float64(fieldDim) / 12, Amplitude: 30},
+		{Row: 0.7 * float64(fieldDim), Col: 0.2 * float64(fieldDim), Sigma: float64(fieldDim) / 16, Amplitude: 18},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nmse float64
+	for i := 0; i < b.N; i++ {
+		p, err := fleet.NewPopulation(fleet.Config{
+			Nodes: nodes, ShardSize: shardSize,
+			FieldW: fieldDim, FieldH: fieldDim,
+			ZoneRows: zoneRC, ZoneCols: zoneRC, Seed: 61,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.SetTruth(truth); err != nil {
+			b.Fatal(err)
+		}
+		r, err := fleet.NewRunner(p, 62, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run(fleet.CampaignConfig{MaxSupport: maxSupport})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GlobalNMSE > 1 {
+			b.Fatalf("reconstruction collapsed: NMSE %v", res.GlobalNMSE)
+		}
+		nmse = res.GlobalNMSE
+	}
+	b.ReportMetric(nmse, "nmse")
+}
+
+// BenchmarkFleetCampaign100k is the always-on fleet datum: 10^5 nodes,
+// 128×128 field, 4 zones. CI's bench smoke runs it at -benchtime=1x.
+func BenchmarkFleetCampaign100k(b *testing.B) {
+	fleetBench(b, 100_000, 8192, 128, 2, 256, 32)
+}
+
+// BenchmarkMillionNodeCampaign is the headline scale point: 10^6 nodes
+// across 16 zones of a 256×256 field, a full duty cycle of batched
+// measurement traffic, and 16 parallel zone decodes. It runs only when
+// FLEET_BENCH_FULL=1 (scripts/bench.sh sets it) so the CI bench smoke,
+// which executes every benchmark once, stays fast.
+func BenchmarkMillionNodeCampaign(b *testing.B) {
+	if os.Getenv("FLEET_BENCH_FULL") == "" {
+		b.Skip("set FLEET_BENCH_FULL=1 to run the 10^6-node campaign")
+	}
+	fleetBench(b, 1_000_000, 8192, 256, 4, 1024, 64)
 }
 
 // BenchmarkDecode1024Grid decodes a 1024×1024 field (n = 2^20). The dense

@@ -152,6 +152,26 @@ func (br *Broker) Register(nodeID string) error {
 	return nil
 }
 
+// Unregister removes a node from the roster, returning whether it was
+// registered. This is the churn path: a node that leaves the NanoCloud
+// (battery death, mobility handoff, simulated crash) must be
+// unregistered before its ID can be recycled, because Register refuses
+// duplicate IDs. Callers should Detach the node's bus handlers as well;
+// the broker itself holds no other per-node state, so an
+// Unregister+Detach leaves nothing for a future node with the same ID
+// to inherit.
+func (br *Broker) Unregister(nodeID string) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	for i, id := range br.nodes {
+		if id == nodeID {
+			br.nodes = append(br.nodes[:i], br.nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Nodes returns the registered node IDs, sorted.
 func (br *Broker) Nodes() []string {
 	br.mu.Lock()

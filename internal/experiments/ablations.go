@@ -345,6 +345,7 @@ func All() []Runner {
 		{"a5", "joint spatio-temporal decoding", func() (*Table, error) { return A5(DefaultA5()) }},
 		{"a6", "adaptive sampling (AIMD)", func() (*Table, error) { return A6(DefaultA6()) }},
 		{"cfault", "accuracy vs injected faults", func() (*Table, error) { return CFault(DefaultCFault()) }},
+		{"cfleet", "fleet backend parity + faults at scale", func() (*Table, error) { return CFleet(DefaultCFleet()) }},
 	}
 }
 

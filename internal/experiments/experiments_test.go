@@ -264,8 +264,8 @@ func TestA3CriticalityShiftsBudget(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("runner count %d, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("runner count %d, want 23", len(all))
 	}
 	if _, ok := ByID("fig4"); !ok {
 		t.Fatal("fig4 missing")

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// smallCFleet keeps the sweep test-sized: 2048 simulated nodes instead
+// of 65k, same zone geometry class.
+func smallCFleet() CFleetConfig {
+	return CFleetConfig{
+		Nodes: 2048, ShardSize: 256,
+		FieldW: 24, FieldH: 24, ZoneRows: 2, ZoneCols: 2,
+		Budget: 24, Seed: 11,
+		NodeBackendNodes: 6, TotalM: 96,
+	}
+}
+
+func TestCFleetBackendsAndFaults(t *testing.T) {
+	tb, err := CFleet(smallCFleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d, want node backend + 4 fleet scenarios", len(tb.Rows))
+	}
+	nodeNMSE := cell(t, tb.Rows[0][2])
+	cleanNMSE := cell(t, tb.Rows[1][2])
+	if nodeNMSE > 0.2 || cleanNMSE > 0.2 {
+		t.Fatalf("backends out of accuracy class: node %v, fleet %v", nodeNMSE, cleanNMSE)
+	}
+	for _, row := range tb.Rows {
+		if cell(t, row[3]) == 0 {
+			t.Fatalf("scenario %s measured nothing", row[0])
+		}
+	}
+	// The faults must actually bite: burst loses traffic, dup+reorder
+	// still completes, the crash window downs deliveries.
+	if lost := cell(t, tb.Rows[2][5]); lost == 0 {
+		t.Fatal("burst scenario lost no traffic")
+	}
+	if down := cell(t, tb.Rows[3][6]); down == 0 {
+		t.Fatal("zone-crash scenario downed no deliveries")
+	}
+	for i, row := range tb.Rows[1:] {
+		if nmse := cell(t, row[2]); nmse > 1.0 {
+			t.Fatalf("fleet scenario %d (%s) NMSE %v: reconstruction collapsed", i, row[0], nmse)
+		}
+	}
+}
+
+func TestCFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := smallCFleet()
+	assertTableStable(t, "CFleet", func() (*Table, error) { return CFleet(cfg) })
+}

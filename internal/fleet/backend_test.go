@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// TestFleetMatchesNodeBackendNMSE is the backend-choice contract from
+// DESIGN.md §11: a small campaign runs on either the node.Node backend
+// (live goroutine nodes, bus, brokers) or the fleet backend
+// (struct-of-arrays shards over netsim batches) and both reconstruct
+// the same truth to comparable accuracy. The backends draw different
+// samples — equality of NMSE is not expected, the same decode quality
+// class is.
+func TestFleetMatchesNodeBackendNMSE(t *testing.T) {
+	truth := field.GenPlumes(24, 24, 10, []field.Plume{
+		{Row: 6, Col: 6, Sigma: 2.5, Amplitude: 20},
+		{Row: 16, Col: 18, Sigma: 3, Amplitude: 25},
+	})
+
+	// Node backend: the full middleware hierarchy.
+	sd, err := core.New(core.Options{
+		FieldW: 24, FieldH: 24, ZoneRows: 2, ZoneCols: 2,
+		NCsPerZone: 1, NodesPerNC: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.SetTruth(truth); err != nil {
+		t.Fatal(err)
+	}
+	nodeRes, err := sd.RunCampaign(core.CampaignConfig{TotalM: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet backend: same truth, same zone geometry, a measurement
+	// budget in the same class (96 distinct cells across 4 zones).
+	p, err := NewPopulation(Config{
+		Nodes: 2048, ShardSize: 256,
+		FieldW: 24, FieldH: 24, ZoneRows: 2, ZoneCols: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetTruth(truth); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, 6, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetRes, err := r.Run(CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetRes.Measurements > 96 {
+		t.Fatalf("fleet exceeded the per-zone budget: %d distinct cells", fleetRes.Measurements)
+	}
+
+	const bar = 0.15
+	if nodeRes.GlobalNMSE > bar {
+		t.Fatalf("node backend NMSE %v above bar %v", nodeRes.GlobalNMSE, bar)
+	}
+	if fleetRes.GlobalNMSE > bar {
+		t.Fatalf("fleet backend NMSE %v above bar %v (node backend: %v)",
+			fleetRes.GlobalNMSE, bar, nodeRes.GlobalNMSE)
+	}
+	ratio := fleetRes.GlobalNMSE / nodeRes.GlobalNMSE
+	if ratio > 10 || ratio < 0.1 {
+		t.Fatalf("backends not in the same accuracy class: fleet %v vs node %v",
+			fleetRes.GlobalNMSE, nodeRes.GlobalNMSE)
+	}
+}

@@ -16,6 +16,7 @@ var DeterministicPkgs = []string{
 	"repro/internal/field",
 	"repro/internal/experiments",
 	"repro/internal/cloud",
+	"repro/internal/fleet",
 }
 
 // HotPathPkgs carry permanent instrumentation on per-event paths (bus
@@ -36,6 +37,9 @@ var HotPathPkgs = []string{
 	"repro/internal/stream",
 	"repro/internal/snapshot",
 	"repro/internal/serve",
+	"repro/internal/fleet",
+	"repro/internal/mobility",
+	"repro/internal/energy",
 }
 
 // ErrcheckScope: every library package. cmd/ and examples/ are package
@@ -95,9 +99,15 @@ var HotEntryPoints = []string{
 	"(*repro/internal/bus.Bus).PublishRetained",
 	"(*repro/internal/netsim.Network).Send",
 	"(*repro/internal/netsim.Network).Deliver",
+	"(*repro/internal/netsim.Network).DeliverBatch",
 	"(*repro/internal/netsim.Network).Flush",
 	"(*repro/internal/store.Store).Append",
 	"(*repro/internal/store.Store).AppendScalar",
+	"(*repro/internal/fleet.Shard).Tick",
+	"(*repro/internal/fleet.Shard).report",
+	"repro/internal/mobility.StepWaypoints",
+	"repro/internal/mobility.GridIndexes",
+	"(*repro/internal/energy.Bank).DrainAll",
 }
 
 // HotAmortizedStops are cache- or once-gated boundaries inside the hot

@@ -264,4 +264,14 @@ func TestSendDeliverEquivalence(t *testing.T) {
 	if tot.TxMessages != 1 || tot.RxMessages != 1 || tot.Dropped != 0 {
 		t.Fatalf("totals %+v", tot)
 	}
+
+	// Property: batched fleet enqueue (DeliverBatch in async mode) plus
+	// one Flush is byte-identical, per node, to sequential synchronous
+	// Send whenever the dup/reorder knobs are zero — same Stats structs,
+	// same delivery order, same simulated time, same fault clock — even
+	// over a lossy link, across seeds. This is the contract that lets the
+	// fleet backend reuse the netsim accounting unchanged.
+	for seed := int64(0); seed < 20; seed++ {
+		batchedEquivalence(t, seed)
+	}
 }

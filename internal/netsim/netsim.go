@@ -153,21 +153,70 @@ func (n *Network) Send(msg Message) error {
 	return err
 }
 
-// Deliver is Send exposing the delivery outcome: delivered=false with a
-// nil error means the message was transmitted (and charged) but lost in
-// flight — loss is not an error, but interceptors bridging this network
-// into a bus need to know whether to fan out. In async mode delivered
-// means "queued"; the fate of queued messages is decided at Flush.
-func (n *Network) Deliver(msg Message) (delivered bool, err error) {
-	n.mu.Lock()
+// txOutcome classifies one transmission attempt inside transmitLocked.
+type txOutcome uint8
+
+const (
+	txErr       txOutcome = iota // unknown endpoint: nothing charged
+	txDown                       // a party is down: nothing charged
+	txLost                       // charged to the sender, dropped in flight
+	txQueued                     // accepted onto the async queue
+	txDelivered                  // sync delivery: rx charged, handler pending
+)
+
+// obsDelta batches observability increments accumulated while the
+// network lock is held; flush applies them to the global counters after
+// unlock, so a DeliverBatch of thousands of messages costs a handful of
+// atomic adds instead of a few per message.
+type obsDelta struct {
+	txMsgs, txBytes, rxMsgs, rxBytes, lost     int64
+	down, partition, burst, duplicate, reorder int64
+}
+
+func (d *obsDelta) flush() {
+	if d.txMsgs != 0 {
+		obsTxMessages.Add(d.txMsgs)
+		obsTxBytes.Add(d.txBytes)
+	}
+	if d.rxMsgs != 0 {
+		obsRxMessages.Add(d.rxMsgs)
+		obsRxBytes.Add(d.rxBytes)
+	}
+	if d.lost != 0 {
+		obsLost.Add(d.lost)
+	}
+	if d.down != 0 {
+		obsFaultDown.Add(d.down)
+	}
+	if d.partition != 0 {
+		obsFaultPartition.Add(d.partition)
+	}
+	if d.burst != 0 {
+		obsFaultBurst.Add(d.burst)
+	}
+	if d.duplicate != 0 {
+		obsFaultDup.Add(d.duplicate)
+	}
+	if d.reorder != 0 {
+		obsFaultReorder.Add(d.reorder)
+	}
+}
+
+// transmitLocked runs one transmission attempt under n.mu: fault-plan
+// verdict, tx accounting, loss draw, then either async enqueue or sync
+// rx accounting. It consumes exactly the RNG draws Deliver historically
+// consumed, in the same order, so a batch of calls is stream-identical
+// to sequential Deliver calls with the same seed. Observability deltas
+// go to d (the caller flushes after unlock); on txDelivered the caller
+// still owes the handler invocation and the latency observation. downID
+// names the down endpoint on txDown; err is non-nil only for txErr.
+func (n *Network) transmitLocked(msg Message, d *obsDelta) (out txOutcome, h Handler, latencyMS float64, downID string, err error) {
 	if _, ok := n.handlers[msg.From]; !ok {
-		n.mu.Unlock()
-		return false, fmt.Errorf("%w: sender %q", ErrUnknownNode, msg.From)
+		return txErr, nil, 0, "", fmt.Errorf("%w: sender %q", ErrUnknownNode, msg.From)
 	}
 	h, ok := n.handlers[msg.To]
 	if !ok {
-		n.mu.Unlock()
-		return false, fmt.Errorf("%w: receiver %q", ErrUnknownNode, msg.To)
+		return txErr, nil, 0, "", fmt.Errorf("%w: receiver %q", ErrUnknownNode, msg.To)
 	}
 	link, ok := n.links[msg.From+"→"+msg.To]
 	if !ok {
@@ -178,27 +227,25 @@ func (n *Network) Deliver(msg Message) (delivered bool, err error) {
 	size := len(msg.Payload)
 	skipLoss := false
 	if n.plan != nil {
-		act, downID := n.plan.verdict(msg.From, msg.To, idx, n.rng)
+		act, id := n.plan.verdict(msg.From, msg.To, idx, n.rng)
 		switch act {
 		case faultDown:
-			n.mu.Unlock()
-			obsFaultDown.Inc()
-			return false, &NodeDownError{ID: downID}
+			d.down++
+			return txDown, nil, 0, id, nil
 		case faultPartition, faultBurst:
 			tx := n.stats[msg.From]
 			tx.TxMessages++
 			tx.TxBytes += size
 			tx.Dropped++
-			n.mu.Unlock()
-			obsTxMessages.Inc()
-			obsTxBytes.Add(int64(size))
-			obsLost.Inc()
+			d.txMsgs++
+			d.txBytes += int64(size)
+			d.lost++
 			if act == faultPartition {
-				obsFaultPartition.Inc()
+				d.partition++
 			} else {
-				obsFaultBurst.Inc()
+				d.burst++
 			}
-			return false, nil
+			return txLost, nil, 0, "", nil
 		case faultDeliverBurst:
 			skipLoss = true // the burst channel already decided delivery
 		}
@@ -206,43 +253,146 @@ func (n *Network) Deliver(msg Message) (delivered bool, err error) {
 	tx := n.stats[msg.From]
 	tx.TxMessages++
 	tx.TxBytes += size
-	obsTxMessages.Inc()
-	obsTxBytes.Add(int64(size))
+	d.txMsgs++
+	d.txBytes += int64(size)
 	if !skipLoss && link.LossProb > 0 && n.rng.Float64() < link.LossProb {
 		tx.Dropped++
-		n.mu.Unlock()
-		obsLost.Inc()
-		return false, nil // lost in transit; not an error
+		d.lost++
+		return txLost, nil, 0, "", nil // lost in transit; not an error
 	}
 	if n.async {
 		n.queue = append(n.queue, msg)
-		n.mu.Unlock()
-		return true, nil // accepted; rx accounting happens at Flush
+		return txQueued, nil, 0, "", nil // accepted; rx accounting happens at Flush
 	}
 	rx := n.stats[msg.To]
 	rx.RxMessages++
 	rx.RxBytes += size
 	n.simTime += link.LatencyMS
+	d.rxMsgs++
+	d.rxBytes += int64(size)
+	return txDelivered, h, link.LatencyMS, "", nil
+}
+
+// Deliver is Send exposing the delivery outcome: delivered=false with a
+// nil error means the message was transmitted (and charged) but lost in
+// flight — loss is not an error, but interceptors bridging this network
+// into a bus need to know whether to fan out. In async mode delivered
+// means "queued"; the fate of queued messages is decided at Flush.
+func (n *Network) Deliver(msg Message) (delivered bool, err error) {
+	var d obsDelta
+	n.mu.Lock()
+	out, h, latency, downID, err := n.transmitLocked(msg, &d)
 	n.mu.Unlock()
-	obsRxMessages.Inc()
-	obsRxBytes.Add(int64(size))
-	obsLatency.Observe(link.LatencyMS)
+	d.flush()
+	switch out {
+	case txErr:
+		return false, err
+	case txDown:
+		return false, &NodeDownError{ID: downID}
+	case txLost:
+		return false, nil
+	case txQueued:
+		return true, nil
+	}
+	obsLatency.Observe(latency)
 	if h != nil {
 		h(msg)
 	}
 	return true, nil
 }
 
+// BatchResult classifies the messages of one DeliverBatch call.
+type BatchResult struct {
+	Queued    int // accepted onto the async queue (fate decided at Flush)
+	Delivered int // sync mode: rx charged and handler run
+	Lost      int // charged to the sender, dropped in flight
+	Down      int // a down endpoint: skipped, nothing charged
+}
+
+// DeliverBatch transmits a slice of messages under one lock acquisition
+// — the fleet layer's enqueue path, where a shard's round of measurement
+// envelopes would otherwise pay a lock handshake and a few atomic
+// counter updates per message. Per-message semantics are identical to
+// calling Deliver in slice order (same fault verdicts, same RNG draw
+// order, same per-node accounting), so batched enqueue followed by Flush
+// is equivalent to sequential sends; TestBatchedEnqueueMatchesSequentialSend
+// pins this. Two deviations, both deliberate: a down endpoint does not
+// fail the batch — the message is skipped with nothing charged (the
+// "error ⇒ nothing charged" contract) and counted in Down — and only an
+// unknown endpoint aborts, returning the partial result alongside the
+// error. In sync mode handlers run after the lock is released, in slice
+// order.
+func (n *Network) DeliverBatch(msgs []Message) (BatchResult, error) {
+	type delivery struct {
+		msg     Message
+		h       Handler
+		latency float64
+	}
+	var (
+		res    BatchResult
+		d      obsDelta
+		out    []delivery
+		batErr error
+	)
+	n.mu.Lock()
+	for _, m := range msgs {
+		o, h, latency, _, err := n.transmitLocked(m, &d)
+		if o == txErr {
+			batErr = err
+			break // abort; messages already charged still get their handlers
+		}
+		switch o {
+		case txDown:
+			res.Down++
+		case txLost:
+			res.Lost++
+		case txQueued:
+			res.Queued++
+		case txDelivered:
+			res.Delivered++
+			out = append(out, delivery{m, h, latency})
+		}
+	}
+	n.mu.Unlock()
+	d.flush()
+	for _, dv := range out {
+		obsLatency.Observe(dv.latency)
+		if dv.h != nil {
+			dv.h(dv.msg)
+		}
+	}
+	return res, batErr
+}
+
 // Flush delivers the async queue, applying the fault plan's reorder and
 // duplicate knobs: each message may be deferred behind the rest of the
-// batch, and each delivery may be doubled. A receiver that went down
-// after the message was queued drops it (charged to the sender as
-// Dropped). Returns the number of handler deliveries performed.
+// batch, and each delivery may be doubled.
+//
+// Charged-vs-delivered invariant (the queued-message analogue of Send's
+// "error ⇒ nothing charged"): every queued message was already tx-charged
+// to its sender at enqueue, and Flush resolves it exactly once —
+//
+//   - receiver down at flush time: the sender is charged exactly one
+//     Dropped, nothing is rx-charged, and the duplicate draw is never
+//     consulted (a copy of a message that cannot be delivered is not a
+//     duplicate event);
+//   - otherwise: rx messages/bytes and link latency are charged once per
+//     delivered copy, and n.simTime accumulates in delivery order — the
+//     queue order after the reorder pass, which is the order handlers run.
+//
+// Under this contract the obs mirrors reconcile with Totals():
+// netsim.rx.messages grows by exactly the handler deliveries performed,
+// netsim.lost.messages by the senders' Dropped growth, netsim.fault.dup
+// only for copies actually delivered, and netsim.fault.down once per
+// message dropped to a down receiver. TestFlushAccountingInvariant pins
+// all of it. Returns the number of handler deliveries performed.
 func (n *Network) Flush() int {
 	type delivery struct {
-		msg Message
-		h   Handler
+		msg     Message
+		h       Handler
+		latency float64
 	}
+	var d obsDelta
 	n.mu.Lock()
 	q := n.queue
 	n.queue = nil
@@ -256,7 +406,7 @@ func (n *Network) Flush() int {
 		for _, m := range q {
 			if n.rng.Float64() < reoP {
 				deferred = append(deferred, m)
-				obsFaultReorder.Inc()
+				d.reorder++
 			} else {
 				kept = append(kept, m)
 			}
@@ -265,16 +415,21 @@ func (n *Network) Flush() int {
 	}
 	var out []delivery
 	for _, m := range q {
+		// Down check first: a message to a receiver that crashed after
+		// enqueue is dropped before the duplicate draw, so the dup RNG
+		// stream and netsim.fault.dup only see deliverable messages and
+		// the sender is charged one Dropped regardless of what a
+		// duplicate draw would have said.
+		if n.plan != nil && n.plan.nodeDown(m.To, n.msgCount) {
+			n.stats[m.From].Dropped++
+			d.lost++
+			d.down++
+			continue
+		}
 		copies := 1
 		if dupP > 0 && n.rng.Float64() < dupP {
 			copies = 2
-			obsFaultDup.Inc()
-		}
-		if n.plan != nil && n.plan.nodeDown(m.To, n.msgCount) {
-			n.stats[m.From].Dropped += copies
-			obsLost.Add(int64(copies))
-			obsFaultDown.Inc()
-			continue
+			d.duplicate++
 		}
 		link, ok := n.links[m.From+"→"+m.To]
 		if !ok {
@@ -286,16 +441,17 @@ func (n *Network) Flush() int {
 			rx.RxMessages++
 			rx.RxBytes += size
 			n.simTime += link.LatencyMS
-			obsRxMessages.Inc()
-			obsRxBytes.Add(int64(size))
-			obsLatency.Observe(link.LatencyMS)
-			out = append(out, delivery{m, n.handlers[m.To]})
+			d.rxMsgs++
+			d.rxBytes += int64(size)
+			out = append(out, delivery{m, n.handlers[m.To], link.LatencyMS})
 		}
 	}
 	n.mu.Unlock()
-	for _, d := range out {
-		if d.h != nil {
-			d.h(d.msg)
+	d.flush()
+	for _, dv := range out {
+		obsLatency.Observe(dv.latency)
+		if dv.h != nil {
+			dv.h(dv.msg)
 		}
 	}
 	return len(out)

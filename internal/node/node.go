@@ -215,14 +215,27 @@ func StatusTopic(ncID, nodeID string) string {
 // AttachBus subscribes the node's command handlers on the NanoCloud bus.
 // Radio reception/transmission energy for each served request is charged
 // to the node's meter.
+//
+// Attachment is all-or-nothing: if any subscription fails, AttachBus
+// detaches whatever it had already subscribed (joining the serving
+// goroutines) before returning the error, so a failed attach leaves no
+// bus state or goroutines behind and needs no compensating Detach. A
+// node is re-attachable after Detach — the fleet churn path recycles
+// node IDs, and a recycled node must start with fresh handler state
+// (in particular, an empty reply-topic dedup window).
 func (n *Node) AttachBus(b *bus.Bus, ncID string) error {
 	if err := n.serveTopic(b, MeasureTopic(ncID, n.ID), n.handleMeasure); err != nil {
 		return err
 	}
 	if err := n.serveTopic(b, PositionTopic(ncID, n.ID), n.handlePosition); err != nil {
+		n.Detach()
 		return err
 	}
-	return n.serveTopic(b, StatusTopic(ncID, n.ID), n.handleStatus)
+	if err := n.serveTopic(b, StatusTopic(ncID, n.ID), n.handleStatus); err != nil {
+		n.Detach()
+		return err
+	}
+	return nil
 }
 
 // serveTopic subscribes one command topic and spawns the request-serving
@@ -244,6 +257,8 @@ func (n *Node) serveTopic(b *bus.Bus, topic string, fn func(body []byte) (any, e
 
 // Detach unsubscribes all bus handlers and joins their goroutines: when
 // Detach returns, no handler will touch the node or the bus again.
+// Detach is idempotent — a second call (or a call on a never-attached
+// node) is a no-op — and the node may AttachBus again afterwards.
 func (n *Node) Detach() {
 	n.mu.Lock()
 	subs := n.subs

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the decode-fast-path benchmark suite and emits BENCH_1.json with
+# Runs the decode-fast-path benchmark suite and emits BENCH_5.json with
 # ns/op, B/op, and allocs/op per benchmark. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_5.json}"
 BENCHTIME="${BENCHTIME:-50x}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -44,13 +44,32 @@ go test -run '^$' -bench 'BenchmarkSnapshotSwap|BenchmarkSnapshotLatestParallel'
     -benchmem -benchtime "${SWAP_BENCHTIME:-20000x}" ./internal/snapshot/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkQueryServe' \
     -benchmem -benchtime "${QUERY_BENCHTIME:-20000x}" ./internal/serve/ | tee -a "$TMP"
+# Fleet backend: the struct-of-arrays population. The 100k campaign is the
+# repeatable datum; the 10^6-node campaign is env-gated (it skips unless
+# FLEET_BENCH_FULL=1) and pinned to one iteration — a single full campaign
+# is the headline number. The shard step micro-bench rides along.
+go test -run '^$' -bench 'BenchmarkFleetCampaign100k' \
+    -benchmem -benchtime "${FLEET_BENCHTIME:-5x}" . | tee -a "$TMP"
+FLEET_BENCH_FULL=1 go test -run '^$' -bench 'BenchmarkMillionNodeCampaign' \
+    -benchmem -benchtime 1x -timeout 30m . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkStepWaypoints4096' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/mobility/ | tee -a "$TMP"
 
 awk -v go_version="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    # Walk value/unit pairs instead of assuming column positions: benches
+    # that emit custom metrics (e.g. the fleet campaigns report "nmse")
+    # would otherwise shift B/op and allocs/op into the wrong columns.
+    ns_v = 0; b_v = 0; a_v = 0
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns_v = $i
+        else if ($(i+1) == "B/op") b_v = $i
+        else if ($(i+1) == "allocs/op") a_v = $i
+    }
+    ns[n] = ns_v; bytes[n] = b_v; allocs[n] = a_v; names[n] = name
     n++
 }
 END {
